@@ -1,0 +1,52 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/csv.hpp"
+
+namespace blam::bench {
+
+bool full_scale() {
+  const char* env = std::getenv("BLAM_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+int scaled(int paper, int laptop) { return full_scale() ? paper : laptop; }
+
+double scaled(double paper, double laptop) { return full_scale() ? paper : laptop; }
+
+void banner(const std::string& figure, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("scale: %s (set BLAM_FULL=1 for the paper scale)\n",
+              full_scale() ? "FULL (paper)" : "laptop default");
+  std::printf("================================================================\n");
+}
+
+std::string write_csv(const std::string& name, const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows) {
+  const std::string path = name + ".csv";
+  CsvWriter writer{path, header};
+  for (const auto& row : rows) writer.row(row);
+  std::printf("[csv] wrote %s (%zu rows)\n", path.c_str(), rows.size());
+  return path;
+}
+
+ProtocolSweep run_protocol_sweep(int n_nodes, double years, std::uint64_t seed) {
+  ProtocolSweep sweep;
+  sweep.n_nodes = n_nodes;
+  sweep.years = years;
+  const Time duration = Time::from_days(365.0 * years);
+  const auto trace = build_shared_trace(lorawan_scenario(n_nodes, seed));
+
+  std::printf("running %d nodes x %.2f years x 4 protocols ...\n", n_nodes, years);
+  sweep.results.push_back(run_scenario(lorawan_scenario(n_nodes, seed), duration, trace));
+  for (double theta : {0.05, 0.5, 1.0}) {
+    sweep.results.push_back(run_scenario(blam_scenario(n_nodes, theta, seed), duration, trace));
+  }
+  return sweep;
+}
+
+}  // namespace blam::bench

@@ -1,0 +1,38 @@
+// Shared plumbing for the figure-reproduction binaries: scale selection
+// (laptop defaults vs BLAM_FULL=1 paper scale), banner printing, and the
+// four-protocol comparison harness used by Figs. 4-6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/experiment.hpp"
+
+namespace blam::bench {
+
+/// True when BLAM_FULL=1: run the experiment at the paper's scale.
+[[nodiscard]] bool full_scale();
+
+/// Picks the paper-scale value under BLAM_FULL, the laptop default otherwise.
+[[nodiscard]] int scaled(int paper, int laptop);
+[[nodiscard]] double scaled(double paper, double laptop);
+
+/// Prints the figure banner: what the paper shows and what this binary
+/// regenerates, plus the active scale.
+void banner(const std::string& figure, const std::string& claim);
+
+/// Writes a CSV next to the binary; returns the path actually written.
+std::string write_csv(const std::string& name, const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows);
+
+/// The evaluation sweep of Sec. IV-A: LoRaWAN, H-5, H-50, H-100 on shared
+/// weather and topology seeds.
+struct ProtocolSweep {
+  std::vector<ExperimentResult> results;  // LoRaWAN, H-5, H-50, H-100
+  int n_nodes{0};
+  double years{0.0};
+};
+
+[[nodiscard]] ProtocolSweep run_protocol_sweep(int n_nodes, double years, std::uint64_t seed);
+
+}  // namespace blam::bench

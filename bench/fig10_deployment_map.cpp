@@ -1,0 +1,57 @@
+// Fig. 10 — "Deployment map": the paper shows the physical placement of its
+// 10-node indoor testbed. The simulation equivalent is the generated
+// topology: this binary dumps node and gateway coordinates, per-node link
+// loss, assigned SF and sampling period as CSV (plottable as the map), for
+// both the testbed layout and the large-scale disk.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "net/network.hpp"
+
+namespace {
+
+void dump(const char* name, const blam::ScenarioConfig& config) {
+  using namespace blam;
+  using namespace blam::bench;
+  Network network{config};
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& gw : network.gateways()) {
+    rows.push_back({"gateway", CsvWriter::cell(static_cast<std::int64_t>(gw->id())),
+                    CsvWriter::cell(gw->position().x_m), CsvWriter::cell(gw->position().y_m),
+                    "", "", ""});
+  }
+  for (std::size_t i = 0; i < network.nodes().size(); ++i) {
+    const Node& node = *network.nodes()[i];
+    rows.push_back({"node", CsvWriter::cell(static_cast<std::uint64_t>(node.id())),
+                    CsvWriter::cell(node.position().x_m), CsvWriter::cell(node.position().y_m),
+                    CsvWriter::cell(node.min_link_loss_db()), to_string(node.sf()),
+                    CsvWriter::cell(node.period().minutes())});
+  }
+  write_csv(name, {"kind", "id", "x_m", "y_m", "min_loss_db", "sf", "period_min"}, rows);
+  std::printf("%s: %zu nodes, %zu gateway(s)\n", name, network.nodes().size(),
+              network.gateways().size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace blam;
+  using namespace blam::bench;
+  banner("Fig. 10 - deployment layouts (testbed + large-scale)",
+         "the paper's figure is the physical lab map; we dump the simulated layouts");
+
+  // Testbed: 10 nodes in a 50 m lab.
+  ScenarioConfig testbed = lorawan_scenario(10, 7);
+  testbed.radius_m = 50.0;
+  testbed.min_period = Time::from_minutes(10.0);
+  testbed.max_period = Time::from_minutes(10.0);
+  dump("fig10_testbed_map", testbed);
+
+  // Large-scale: the 5 km disk with distance-based SFs.
+  ScenarioConfig large = lorawan_scenario(scaled(500, 100), 42);
+  large.sf_assignment = SfAssignment::kDistanceBased;
+  large.path_loss.shadowing_sigma_db = 6.0;
+  dump("fig10_largescale_map", large);
+  return 0;
+}

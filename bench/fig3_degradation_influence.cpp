@@ -1,0 +1,95 @@
+// Fig. 3 — "Degradation influence": forecast-window selection of the most
+// and least degraded node across two sampling periods with identical solar
+// conditions and identical estimator state.
+//
+//   p28 (energy-rich):  every window's forecast harvest covers the
+//                       estimated cost -> DIF = 0 everywhere -> both nodes
+//                       transmit in the first (highest-utility) window.
+//   p29 (energy-poor):  pre-dawn: the first windows have no harvest and
+//                       window 0 additionally carries a retransmission
+//                       history (Eq. 13/14 inflate its estimated cost).
+//                       The highly degraded node (w_u = 1) defers to the
+//                       first green window to dodge cycle aging; the fresh
+//                       node (w_u ~ 0) still transmits immediately.
+//
+// The per-window inputs below are exactly what the on-sensor estimators
+// produce under those conditions; using them directly keeps the figure a
+// pure illustration of Algorithm 1's decision surface.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "core/window_selector.hpp"
+#include "lora/airtime.hpp"
+
+int main() {
+  using namespace blam;
+  using namespace blam::bench;
+
+  banner("Fig. 3 - window selection of highest vs lowest degraded node",
+         "energy-rich period: both nodes pick window 0; energy-poor period: "
+         "only the degraded node defers to a later window");
+
+  // One attempt's cost at SF10 (the testbed configuration); E_tx_max is the
+  // full 8-transmission budget.
+  RadioEnergyModel radio;
+  TxParams params;
+  params.sf = SpreadingFactor::kSF10;
+  params.payload_bytes = 14;
+  params = params.with_auto_ldro();
+  const Energy attempt = tx_energy(params, radio) + radio.rx_power() * Time::from_ms(120);
+  const Energy max_tx = attempt * 8;
+  const int n_windows = 10;  // 10-minute period, 1-minute windows
+
+  struct Period {
+    const char* name;
+    std::vector<double> harvest_attempts;  // per window, in units of one attempt
+    std::vector<double> cost_attempts;     // EWMA * expected transmissions
+  };
+  const std::vector<Period> periods{
+      {"p28 (energy-rich)",
+       {2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0},
+       {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0}},
+      {"p29 (energy-poor)",
+       {0.0, 0.0, 1.2, 1.2, 1.3, 1.4, 1.4, 1.5, 1.5, 1.6},  // dawn ramp
+       {2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0}},  // window 0 crowded
+  };
+
+  LinearUtility utility;
+  WindowSelector selector;
+
+  std::printf("%-20s %-26s %8s %8s %8s\n", "period", "node", "window", "gamma", "DIF");
+  std::vector<std::vector<std::string>> rows;
+  for (const Period& period : periods) {
+    std::vector<Energy> harvest;
+    std::vector<Energy> cost;
+    for (int w = 0; w < n_windows; ++w) {
+      harvest.push_back(attempt * period.harvest_attempts[static_cast<std::size_t>(w)]);
+      cost.push_back(attempt * period.cost_attempts[static_cast<std::size_t>(w)]);
+    }
+    for (const auto& [node_name, w_u] : {std::pair{"highest degraded (w=1.00)", 1.0},
+                                         std::pair{"lowest degraded  (w=0.05)", 0.05}}) {
+      WindowSelectorInput input;
+      input.battery = attempt * 4;
+      input.storage_cap = attempt * 8;
+      input.w_u = w_u;
+      input.w_b = 1.0;
+      input.harvest = harvest;
+      input.tx_cost = cost;
+      input.max_tx = max_tx;
+      input.utility = &utility;
+      const WindowSelection sel = selector.select(input);
+      std::printf("%-20s %-26s %8d %8.4f %8.4f\n", period.name, node_name,
+                  sel.success ? sel.window : -1, sel.gamma, sel.dif);
+      rows.push_back({period.name, node_name,
+                      CsvWriter::cell(static_cast<std::int64_t>(sel.success ? sel.window : -1)),
+                      CsvWriter::cell(sel.gamma), CsvWriter::cell(sel.dif)});
+    }
+  }
+  write_csv("fig3_degradation_influence", {"period", "node", "window", "gamma", "dif"}, rows);
+
+  std::printf("\nexpected shape: p28 -> both nodes window 0; p29 -> the w=1 node defers\n"
+              "to the first green window while the w=0.05 node stays at window 0.\n");
+  return 0;
+}

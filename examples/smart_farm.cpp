@@ -1,0 +1,64 @@
+// Smart-farm scenario (one of the application domains the paper's intro
+// motivates): a 150-node soil/weather sensing deployment over 3 km, mixed
+// sampling periods, distance-based spreading factors with shadowing, run
+// for one simulated season under three protocols. Demonstrates building a
+// custom ScenarioConfig rather than using the paper presets.
+//
+//   $ ./smart_farm [nodes] [days] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace blam;
+
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 150;
+  const double days = argc > 2 ? std::atof(argv[2]) : 90.0;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2024;
+
+  auto farm_config = [&](PolicyKind policy, double theta) {
+    ScenarioConfig c;
+    c.policy = policy;
+    c.theta = theta;
+    c.label = c.policy_label();
+    c.seed = seed;
+    c.n_nodes = nodes;
+    c.radius_m = 3000.0;
+    // Soil probes report every 20-30 min; weather masts every 16 min.
+    c.min_period = Time::from_minutes(16.0);
+    c.max_period = Time::from_minutes(30.0);
+    // Real terrain: distance-based SF with log-normal shadowing.
+    c.sf_assignment = SfAssignment::kDistanceBased;
+    c.path_loss.shadowing_sigma_db = 6.0;
+    c.sf_margin_db = 2.0;
+    // Slightly time-sensitive data: utility holds for the first 40% of the
+    // period, then drops to a floor.
+    c.utility = UtilityKind::kStep;
+    c.step_deadline = 0.4;
+    c.step_floor = 0.2;
+    return c;
+  };
+
+  std::printf("smart farm: %d nodes over 3 km, %.0f days, step utility (fresh 40%%)\n\n",
+              nodes, days);
+
+  const auto trace = build_shared_trace(farm_config(PolicyKind::kLorawan, 1.0));
+  const Time duration = Time::from_days(days);
+
+  std::printf("%-10s %8s %8s %10s %12s %12s %12s\n", "protocol", "PRR", "utility",
+              "retx/pkt", "TXenergy_kJ", "deg_mean", "latency_s");
+  for (const auto& [policy, theta] :
+       {std::pair{PolicyKind::kLorawan, 1.0}, {PolicyKind::kThetaOnly, 0.5},
+        {PolicyKind::kBlam, 0.5}}) {
+    const ExperimentResult r = run_scenario(farm_config(policy, theta), duration, trace);
+    std::printf("%-10s %8.4f %8.4f %10.3f %12.2f %12.6f %12.2f\n", r.label.c_str(),
+                r.summary.mean_prr, r.summary.mean_utility, r.summary.mean_retx,
+                r.summary.total_tx_energy.joules() / 1e3, r.summary.degradation_box.mean,
+                r.summary.mean_delivered_latency_s);
+  }
+
+  std::printf("\nwith the step utility, deferring within the first 40%% of the period is\n"
+              "free: the proposed MAC harvests that slack for battery lifespan.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Replays the paper's physical testbed (Sec. IV-B): 10 SX1276 nodes at
+// SF10 on one 125 kHz channel, 10-minute sampling periods, 1-minute
+// forecast windows, a 24-hour run on "a random day from the year-long
+// energy trace", comparing H-100 against plain LoRaWAN. Prints the
+// per-node table behind Fig. 9. The day argument selects which weather
+// realization the 24 hours get.
+//
+//   $ ./testbed_replay [day] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/network.hpp"
+
+namespace {
+
+blam::ScenarioConfig testbed(blam::PolicyKind policy, double theta, std::uint64_t seed,
+                             int day) {
+  using namespace blam;
+  ScenarioConfig c;
+  c.policy = policy;
+  c.theta = theta;
+  c.label = c.policy_label();
+  c.seed = seed;
+  // The paper replays one random day of the NREL trace; selecting the day
+  // here selects the weather realization of the simulated 24 hours.
+  c.solar.seed = seed * 1000 + static_cast<std::uint64_t>(day);
+  c.n_nodes = 10;
+  c.radius_m = 50.0;  // indoor lab
+  c.min_period = Time::from_minutes(10.0);
+  c.max_period = Time::from_minutes(10.0);
+  c.uplink_channels = 1;
+  c.downlink_channels = 1;
+  c.sf_assignment = SfAssignment::kFixed;
+  c.fixed_sf = SpreadingFactor::kSF10;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blam;
+
+  const int day = argc > 1 ? std::atoi(argv[1]) : 160;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  std::printf("testbed replay: 10 nodes, SF10, 1 channel, day %d of the solar year\n\n", day);
+
+  for (const auto& [policy, theta] :
+       {std::pair{PolicyKind::kLorawan, 1.0}, {PolicyKind::kBlam, 1.0}}) {
+    Network network{testbed(policy, theta, seed, day)};
+    network.run_until(Time::from_days(1.0));
+    network.finalize_metrics();
+
+    std::printf("--- %s ---\n", network.config().label.c_str());
+    std::printf("%-6s %10s %10s %12s %12s\n", "node", "PRR", "retx/pkt", "cycle_aging",
+                "latency_s");
+    for (std::size_t i = 0; i < network.metrics().node_count(); ++i) {
+      const NodeMetrics& m = network.metrics().node(i);
+      std::printf("%-6zu %10.4f %10.3f %12.3e %12.2f\n", i, m.prr(), m.avg_retx(),
+                  m.cycle_linear, m.delivered_latency_s.mean());
+    }
+    const NetworkSummary s = network.metrics().summarize();
+    std::printf("network: PRR %.4f, avg retx %.3f, delivered latency %.2f s\n\n", s.mean_prr,
+                s.mean_retx, s.mean_delivered_latency_s);
+  }
+
+  std::printf("paper Fig. 9: PRR 100%% for both; H-100 shows ~80%% lower cycle aging,\n"
+              "fewer retransmissions, and higher (but bounded) latency.\n");
+  return 0;
+}

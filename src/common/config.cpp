@@ -1,0 +1,119 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace blam {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+ConfigFile ConfigFile::load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"ConfigFile: cannot open " + path};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+ConfigFile ConfigFile::parse(const std::string& text) {
+  ConfigFile config;
+  std::istringstream in{text};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error{"ConfigFile: line " + std::to_string(line_no) +
+                               " is not `key = value`: " + line};
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error{"ConfigFile: empty key on line " + std::to_string(line_no)};
+    }
+    config.values_[key] = value;
+  }
+  return config;
+}
+
+const std::string* ConfigFile::find(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return nullptr;
+  touched_.insert(key);
+  return &it->second;
+}
+
+bool ConfigFile::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string ConfigFile::get_string(const std::string& key, const std::string& fallback) const {
+  const std::string* v = find(key);
+  return v != nullptr ? *v : fallback;
+}
+
+double ConfigFile::get_double(const std::string& key, double fallback) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(*v, &consumed);
+    if (consumed != v->size()) throw std::invalid_argument{"trailing junk"};
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error{"ConfigFile: key '" + key + "' is not a number: " + *v};
+  }
+}
+
+std::int64_t ConfigFile::get_int(const std::string& key, std::int64_t fallback) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t parsed = std::stoll(*v, &consumed);
+    if (consumed != v->size()) throw std::invalid_argument{"trailing junk"};
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::runtime_error{"ConfigFile: key '" + key + "' is not an integer: " + *v};
+  }
+}
+
+bool ConfigFile::get_bool(const std::string& key, bool fallback) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  const std::string s = lower(*v);
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  throw std::runtime_error{"ConfigFile: key '" + key + "' is not a boolean: " + *v};
+}
+
+std::vector<std::string> ConfigFile::unused_keys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, value] : values_) {
+    if (touched_.count(key) == 0) unused.push_back(key);
+  }
+  return unused;
+}
+
+}  // namespace blam

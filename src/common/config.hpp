@@ -1,0 +1,48 @@
+// Minimal key=value configuration-file parser for the scenario-runner CLI.
+//
+// Format: one `key = value` per line; '#' starts a comment; blank lines
+// ignored. Keys are case-sensitive. Typed getters return the parsed value
+// or the supplied default; a malformed value for a requested key throws
+// (silently ignoring typos in VALUES is worse than failing). Unknown KEYS
+// can be audited with unused_keys() so callers can reject misspelled ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace blam {
+
+class ConfigFile {
+ public:
+  /// Parses from a file; throws std::runtime_error if unreadable or any
+  /// line is not `key = value` / comment / blank.
+  static ConfigFile load(const std::string& path);
+
+  /// Parses from a string (tests and inline defaults).
+  static ConfigFile parse(const std::string& text);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  /// Accepts true/false/1/0/yes/no/on/off (case-insensitive).
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys present in the file that were never read by any getter; call
+  /// after configuration to catch typos.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+ private:
+  [[nodiscard]] const std::string* find(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> touched_;
+};
+
+}  // namespace blam

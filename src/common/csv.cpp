@@ -1,0 +1,50 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace blam {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_{path}, width_{header.size()} {
+  if (!out_) throw std::runtime_error{"CsvWriter: cannot open " + path};
+  if (width_ == 0) throw std::invalid_argument{"CsvWriter: empty header"};
+  write_row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_) throw std::invalid_argument{"CsvWriter: row width mismatch"};
+  write_row(cells);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::cell(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string CsvWriter::cell(std::int64_t v) { return std::to_string(v); }
+
+std::string CsvWriter::cell(std::uint64_t v) { return std::to_string(v); }
+
+std::string CsvWriter::cell(std::string_view v) {
+  const bool needs_quotes = v.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string{v};
+  std::string quoted = "\"";
+  for (char c : v) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace blam

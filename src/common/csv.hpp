@@ -1,0 +1,35 @@
+// Minimal CSV emission used by the bench binaries so figure data can be
+// re-plotted outside the repo. Values are written with full round-trip
+// precision; strings containing separators/quotes are quoted per RFC 4180.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blam {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; the number of cells must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] static std::string cell(double v);
+  [[nodiscard]] static std::string cell(std::int64_t v);
+  [[nodiscard]] static std::string cell(std::uint64_t v);
+  [[nodiscard]] static std::string cell(std::string_view v);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace blam

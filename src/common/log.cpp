@@ -1,0 +1,23 @@
+#include "common/log.hpp"
+
+namespace blam {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+const char* Log::name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace blam

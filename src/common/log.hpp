@@ -1,0 +1,55 @@
+// Lightweight leveled logger. The simulation hot path never logs above
+// kDebug, and debug logging compiles down to a level check, so the logger
+// costs one branch when disabled.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace blam {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Log {
+ public:
+  static void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] static LogLevel level() { return level_; }
+  [[nodiscard]] static bool enabled(LogLevel level) { return level >= level_; }
+
+  template <typename... Args>
+  static void debug(const char* fmt, Args... args) {
+    write(LogLevel::kDebug, fmt, args...);
+  }
+  template <typename... Args>
+  static void info(const char* fmt, Args... args) {
+    write(LogLevel::kInfo, fmt, args...);
+  }
+  template <typename... Args>
+  static void warn(const char* fmt, Args... args) {
+    write(LogLevel::kWarn, fmt, args...);
+  }
+  template <typename... Args>
+  static void error(const char* fmt, Args... args) {
+    write(LogLevel::kError, fmt, args...);
+  }
+
+ private:
+  template <typename... Args>
+  static void write(LogLevel level, const char* fmt, Args... args) {
+    if (!enabled(level)) return;
+    std::fprintf(stderr, "[%s] ", name(level));
+    if constexpr (sizeof...(Args) == 0) {
+      std::fputs(fmt, stderr);
+    } else {
+      std::fprintf(stderr, fmt, args...);
+    }
+    std::fputc('\n', stderr);
+  }
+
+  [[nodiscard]] static const char* name(LogLevel level);
+
+  static LogLevel level_;
+};
+
+}  // namespace blam

@@ -1,0 +1,94 @@
+// Streaming statistics used by the metrics layer and the benchmark tables.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace blam {
+
+/// Numerically-stable running mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return n_ > 0 ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples are clamped into
+/// the first/last bin so totals always match the sample count.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  /// Fraction of samples in a bin; 0 when empty.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_{0};
+};
+
+/// Buffered sampler with exact quantiles; suitable for per-node aggregates
+/// (hundreds to a few million samples).
+class QuantileSampler {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void merge(const QuantileSampler& other);
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// q in [0, 1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double mean() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{false};
+};
+
+/// Five-number summary used when printing box-plot style figure rows.
+struct BoxSummary {
+  double min{0.0};
+  double q1{0.0};
+  double median{0.0};
+  double q3{0.0};
+  double max{0.0};
+  double mean{0.0};
+  /// Count of points outside 1.5 IQR whiskers.
+  std::size_t outliers{0};
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] BoxSummary summarize_box(const std::vector<double>& values);
+
+}  // namespace blam

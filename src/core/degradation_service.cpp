@@ -1,0 +1,51 @@
+#include "core/degradation_service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace blam {
+
+DegradationService::DegradationService(const DegradationModel& model, double temperature_c)
+    : model_{model}, temperature_c_{temperature_c} {}
+
+void DegradationService::register_node(std::uint32_t node_id) {
+  auto [it, inserted] = nodes_.try_emplace(node_id);
+  if (inserted) {
+    it->second.tracker = std::make_unique<DegradationTracker>(model_, temperature_c_);
+  }
+}
+
+void DegradationService::ingest(std::uint32_t node_id, std::span<const SocSample> samples) {
+  register_node(node_id);
+  DegradationTracker& tracker = *nodes_.at(node_id).tracker;
+  for (const SocSample& s : samples) tracker.record(s.t, s.soc);
+}
+
+void DegradationService::recompute(Time now) {
+  max_degradation_ = 0.0;
+  for (auto& [id, state] : nodes_) {
+    state.degradation = state.tracker->degradation(now);
+    max_degradation_ = std::max(max_degradation_, state.degradation);
+  }
+  for (auto& [id, state] : nodes_) {
+    state.normalized = max_degradation_ > 0.0 ? state.degradation / max_degradation_ : 0.0;
+  }
+}
+
+const DegradationService::NodeState& DegradationService::state_of(std::uint32_t node_id) const {
+  const auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) {
+    throw std::out_of_range{"DegradationService: unknown node " + std::to_string(node_id)};
+  }
+  return it->second;
+}
+
+double DegradationService::normalized_degradation(std::uint32_t node_id) const {
+  return state_of(node_id).normalized;
+}
+
+double DegradationService::degradation(std::uint32_t node_id) const {
+  return state_of(node_id).degradation;
+}
+
+}  // namespace blam

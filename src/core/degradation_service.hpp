@@ -1,0 +1,75 @@
+// Gateway-side degradation service (paper Sec. III-B, "Computing Battery
+// Degradation" / "Disseminating battery degradation").
+//
+// Nodes cannot run the rainflow model themselves, so they piggy-back their
+// SoC transition points (4 bytes per packet) on uplinks; the gateway
+// maintains one DegradationTracker per node, recomputes every node's
+// degradation D_u once per `recompute_interval` (daily by default), derives
+// the normalized degradation w_u = D_u / D_max, and hands w_u back to each
+// node inside its ACKs (1 extra byte). A node that has never reported (or a
+// fresh battery) gets w_u = 0, letting it run Algorithm 1 without ever
+// hearing from the gateway.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "degradation/model.hpp"
+#include "degradation/tracker.hpp"
+
+namespace blam {
+
+/// One SoC transition point as carried in an uplink (paper: forecast-window
+/// index + SoC, 2 x 2 bytes; we keep engineering units internally).
+struct SocSample {
+  Time t;
+  double soc;
+};
+
+class DegradationService {
+ public:
+  DegradationService(const DegradationModel& model, double temperature_c);
+
+  /// Registers a node (idempotent).
+  void register_node(std::uint32_t node_id);
+
+  /// Ingests SoC transition points reported by `node_id`. Samples must be
+  /// time-ordered within and across reports (the MAC reports in order).
+  void ingest(std::uint32_t node_id, std::span<const SocSample> samples);
+
+  /// Recomputes D_u for every node and refreshes w_u = D_u / D_max.
+  /// Call once per dissemination period (daily in the paper).
+  void recompute(Time now);
+
+  /// Latest normalized degradation for the node; 0 until the first
+  /// recompute() that saw data from it.
+  [[nodiscard]] double normalized_degradation(std::uint32_t node_id) const;
+
+  /// Latest absolute degradation estimate for the node.
+  [[nodiscard]] double degradation(std::uint32_t node_id) const;
+
+  /// Maximum degradation across all nodes at the last recompute().
+  [[nodiscard]] double max_degradation() const { return max_degradation_; }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct NodeState {
+    std::unique_ptr<DegradationTracker> tracker;
+    double degradation{0.0};
+    double normalized{0.0};
+  };
+
+  [[nodiscard]] const NodeState& state_of(std::uint32_t node_id) const;
+
+  DegradationModel model_;
+  double temperature_c_;
+  std::unordered_map<std::uint32_t, NodeState> nodes_;
+  double max_degradation_{0.0};
+};
+
+}  // namespace blam

@@ -1,0 +1,21 @@
+// Degradation Impact Factor (paper Eq. 15):
+//
+//   DIF_u[t] = (max(e_tx, E_g[t]) - E_g[t]) / E_tx_max
+//            = max(e_tx - E_g[t], 0) / E_tx_max
+//
+// DIF is 0 when the forecast harvest covers the estimated transmission
+// cost (the battery is untouched, no cycle aging) and grows toward 1 as the
+// transmission must be paid from the battery.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace blam {
+
+/// `estimated_tx`: EWMA transmission-energy estimate scaled by the expected
+/// number of transmissions for this window. `harvest`: forecast green energy
+/// in the window. `max_tx`: worst-case energy of one packet (highest SF,
+/// all retransmissions) used as the normalizer; must be positive.
+[[nodiscard]] double degradation_impact_factor(Energy estimated_tx, Energy harvest, Energy max_tx);
+
+}  // namespace blam

@@ -1,0 +1,63 @@
+#include "core/theta_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace blam {
+
+ThetaController::ThetaController(const Config& config) : config_{config} {
+  if (config.theta_min <= 0.0 || config.theta_min > config.theta_max || config.theta_max > 1.0) {
+    throw std::invalid_argument{"ThetaController: need 0 < theta_min <= theta_max <= 1"};
+  }
+  if (config.initial < config.theta_min || config.initial > config.theta_max) {
+    throw std::invalid_argument{"ThetaController: initial outside [theta_min, theta_max]"};
+  }
+  if (config.step <= 0.0) throw std::invalid_argument{"ThetaController: step must be positive"};
+  if (config.loss_lower < 0.0 || config.loss_lower > config.loss_raise) {
+    throw std::invalid_argument{"ThetaController: need 0 <= loss_lower <= loss_raise"};
+  }
+  if (config.window_packets <= 0) {
+    throw std::invalid_argument{"ThetaController: window_packets must be positive"};
+  }
+}
+
+std::optional<double> ThetaController::on_delivery(std::uint32_t node_id, std::uint32_t seq) {
+  auto [it, inserted] = nodes_.try_emplace(node_id);
+  NodeState& state = it->second;
+  if (inserted) state.theta = config_.initial;
+
+  if (state.has_seq) {
+    if (seq <= state.last_seq) return std::nullopt;  // duplicate / reorder
+    state.lost += seq - state.last_seq - 1;
+  }
+  state.last_seq = seq;
+  state.has_seq = true;
+  ++state.delivered;
+
+  const std::uint64_t window_total = state.delivered + state.lost;
+  if (window_total < static_cast<std::uint64_t>(config_.window_packets)) return std::nullopt;
+
+  const double loss_rate = static_cast<double>(state.lost) / static_cast<double>(window_total);
+  const double before = state.theta;
+  if (loss_rate > config_.loss_raise) {
+    state.theta = std::min(config_.theta_max, state.theta + config_.step);
+  } else if (loss_rate < config_.loss_lower) {
+    state.theta = std::max(config_.theta_min, state.theta - config_.step);
+  }
+  // Snap accumulated floating-point dust to the bounds so a converged cap
+  // stops producing (and disseminating) no-op updates.
+  if (std::abs(state.theta - config_.theta_min) < 1e-9) state.theta = config_.theta_min;
+  if (std::abs(state.theta - config_.theta_max) < 1e-9) state.theta = config_.theta_max;
+  state.delivered = 0;
+  state.lost = 0;
+  if (state.theta == before) return std::nullopt;
+  return state.theta;
+}
+
+double ThetaController::theta(std::uint32_t node_id) const {
+  const auto it = nodes_.find(node_id);
+  return it != nodes_.end() ? it->second.theta : config_.initial;
+}
+
+}  // namespace blam

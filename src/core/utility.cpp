@@ -1,0 +1,37 @@
+#include "core/utility.hpp"
+
+#include <cmath>
+
+namespace blam {
+
+double LinearUtility::value(int t, int n) const {
+  check(t, n);
+  return static_cast<double>(n - t) / static_cast<double>(n);
+}
+
+ExponentialUtility::ExponentialUtility(double lambda) : lambda_{lambda} {
+  if (lambda < 0.0) throw std::invalid_argument{"ExponentialUtility: lambda must be >= 0"};
+}
+
+double ExponentialUtility::value(int t, int n) const {
+  check(t, n);
+  return std::exp(-lambda_ * static_cast<double>(t) / static_cast<double>(n));
+}
+
+StepUtility::StepUtility(double deadline_fraction, double floor)
+    : deadline_fraction_{deadline_fraction}, floor_{floor} {
+  if (deadline_fraction < 0.0 || deadline_fraction > 1.0) {
+    throw std::invalid_argument{"StepUtility: deadline fraction must be in [0,1]"};
+  }
+  if (floor < 0.0 || floor > 1.0) {
+    throw std::invalid_argument{"StepUtility: floor must be in [0,1]"};
+  }
+}
+
+double StepUtility::value(int t, int n) const {
+  check(t, n);
+  const double fraction = static_cast<double>(t) / static_cast<double>(n);
+  return fraction <= deadline_fraction_ ? 1.0 : floor_;
+}
+
+}  // namespace blam

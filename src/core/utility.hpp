@@ -1,0 +1,68 @@
+// Packet utility functions (paper Eq. 16 and Sec. III-A).
+//
+// Utility indicates how useful the data still is when transmitted in
+// forecast window t of the sampling period: monotonically non-increasing
+// from 1 (transmit immediately) toward 0 (transmit just before the next
+// sample arrives). The protocol is parametric in the utility function; the
+// paper's linear form (Eq. 16) is the default, and exponential / step
+// variants are provided for the ablation benches.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace blam {
+
+class UtilityFunction {
+ public:
+  virtual ~UtilityFunction() = default;
+
+  /// Utility of transmitting in window `t` of `n` windows; t in [0, n).
+  /// Implementations must be monotonically non-increasing in t and map
+  /// into [0, 1].
+  [[nodiscard]] virtual double value(int t, int n) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  static void check(int t, int n) {
+    if (n <= 0 || t < 0 || t >= n) {
+      throw std::invalid_argument{"UtilityFunction: window " + std::to_string(t) +
+                                  " out of range [0," + std::to_string(n) + ")"};
+    }
+  }
+};
+
+/// Paper Eq. 16: mu = (tau - t) / tau, i.e. (n - t) / n over window indices.
+class LinearUtility final : public UtilityFunction {
+ public:
+  [[nodiscard]] double value(int t, int n) const override;
+  [[nodiscard]] std::string name() const override { return "linear"; }
+};
+
+/// mu = exp(-lambda * t / n): steep early loss, long tail.
+class ExponentialUtility final : public UtilityFunction {
+ public:
+  explicit ExponentialUtility(double lambda);
+  [[nodiscard]] double value(int t, int n) const override;
+  [[nodiscard]] std::string name() const override { return "exponential"; }
+
+ private:
+  double lambda_;
+};
+
+/// Full utility up to a deadline fraction of the period, then a floor:
+/// models "fresh within L, stale after".
+class StepUtility final : public UtilityFunction {
+ public:
+  StepUtility(double deadline_fraction, double floor);
+  [[nodiscard]] double value(int t, int n) const override;
+  [[nodiscard]] std::string name() const override { return "step"; }
+
+ private:
+  double deadline_fraction_;
+  double floor_;
+};
+
+}  // namespace blam

@@ -1,0 +1,86 @@
+#include "core/window_selector.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/dif.hpp"
+
+namespace blam {
+
+namespace {
+
+void validate(const WindowSelectorInput& input) {
+  if (input.harvest.empty()) {
+    throw std::invalid_argument{"WindowSelector: need at least one window"};
+  }
+  if (input.harvest.size() != input.tx_cost.size()) {
+    throw std::invalid_argument{"WindowSelector: harvest/tx_cost size mismatch"};
+  }
+  if (input.utility == nullptr) throw std::invalid_argument{"WindowSelector: utility required"};
+  if (input.max_tx <= Energy::zero()) {
+    throw std::invalid_argument{"WindowSelector: max_tx must be positive"};
+  }
+  if (input.w_u < 0.0 || input.w_u > 1.0) {
+    throw std::invalid_argument{"WindowSelector: w_u must be in [0,1]"};
+  }
+  if (input.w_b < 0.0 || input.w_b > 1.0) {
+    throw std::invalid_argument{"WindowSelector: w_b must be in [0,1]"};
+  }
+}
+
+}  // namespace
+
+std::vector<double> WindowSelector::objective_values(const WindowSelectorInput& input) const {
+  validate(input);
+  const int n = static_cast<int>(input.harvest.size());
+  std::vector<double> gamma(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const double mu = input.utility->value(t, n);
+    const double dif =
+        degradation_impact_factor(input.tx_cost[static_cast<std::size_t>(t)],
+                                  input.harvest[static_cast<std::size_t>(t)], input.max_tx);
+    gamma[static_cast<std::size_t>(t)] = (1.0 - mu) + input.w_u * dif * input.w_b;
+  }
+  return gamma;
+}
+
+WindowSelection WindowSelector::select(const WindowSelectorInput& input) const {
+  const std::vector<double> gamma = objective_values(input);
+  const int n = static_cast<int>(gamma.size());
+
+  // Algorithm 1 lines 7-11: sort windows by gamma (stable: ties keep the
+  // earlier window, favouring utility) and precompute cumulative available
+  // energy E[t] = min(E[t-1], cap) + E_g[t]. The cap models Eq. 21: energy
+  // carried over between windows lives in the battery and cannot exceed the
+  // theta ceiling, while harvest within the window is usable directly.
+  std::vector<int> order(gamma.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&gamma](int a, int b) { return gamma[static_cast<std::size_t>(a)] < gamma[static_cast<std::size_t>(b)]; });
+
+  std::vector<Energy> available(gamma.size());
+  Energy carried = std::min(input.battery, input.storage_cap);
+  for (int t = 0; t < n; ++t) {
+    available[static_cast<std::size_t>(t)] = carried + input.harvest[static_cast<std::size_t>(t)];
+    carried = std::min(available[static_cast<std::size_t>(t)], input.storage_cap);
+  }
+
+  // Lines 12-17: first window in gamma order that can fund the estimated
+  // transmission cost.
+  for (int t : order) {
+    const auto ti = static_cast<std::size_t>(t);
+    if (available[ti] - input.tx_cost[ti] > Energy::zero()) {
+      WindowSelection out;
+      out.success = true;
+      out.window = t;
+      out.gamma = gamma[ti];
+      out.utility = input.utility->value(t, n);
+      out.dif = degradation_impact_factor(input.tx_cost[ti], input.harvest[ti], input.max_tx);
+      return out;
+    }
+  }
+  return WindowSelection{};  // FAIL: drop the packet (Algorithm 1 line 18)
+}
+
+}  // namespace blam

@@ -1,0 +1,76 @@
+#include "degradation/rainflow.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace blam {
+
+RainflowCounter::RainflowCounter(CycleCallback on_cycle) : on_cycle_{std::move(on_cycle)} {
+  if (!on_cycle_) throw std::invalid_argument{"RainflowCounter: callback required"};
+}
+
+void RainflowCounter::push(double soc) {
+  if (!has_last_) {
+    last_ = soc;
+    has_last_ = true;
+    return;
+  }
+  const double diff = soc - last_;
+  if (diff == 0.0) return;  // plateau: direction unchanged
+  const double direction = diff > 0.0 ? 1.0 : -1.0;
+  if (prev_direction_ == 0.0) {
+    // Second distinct sample: the very first sample is a turning point.
+    accept_turning_point(last_);
+  } else if (direction != prev_direction_) {
+    // Direction change: the previous sample was a local extremum.
+    accept_turning_point(last_);
+  }
+  prev_direction_ = direction;
+  last_ = soc;
+}
+
+void RainflowCounter::accept_turning_point(double value) {
+  stack_.push_back(value);
+  collapse();
+}
+
+void RainflowCounter::collapse() {
+  // ASTM E1049 four-point rule: with the four most recent turning points
+  // X1..X4, the inner pair (X2, X3) closes a full cycle when its range is
+  // no larger than both neighbours' ranges.
+  while (stack_.size() >= 4) {
+    const std::size_t n = stack_.size();
+    const double x1 = stack_[n - 4];
+    const double x2 = stack_[n - 3];
+    const double x3 = stack_[n - 2];
+    const double x4 = stack_[n - 1];
+    const double r1 = std::abs(x2 - x1);
+    const double r2 = std::abs(x3 - x2);
+    const double r3 = std::abs(x4 - x3);
+    if (r2 > r1 || r2 > r3) break;
+    on_cycle_(RainflowCycle{r2, 0.5 * (x2 + x3), 1.0});
+    ++full_cycles_;
+    stack_[n - 3] = x4;  // drop X2, X3; X4 slides down
+    stack_.resize(n - 2);
+  }
+}
+
+void RainflowCounter::for_each_residual(const CycleCallback& visit) const {
+  // The residual is the stack plus the in-flight sample (a provisional
+  // turning point: the trace currently ends there).
+  const double* prev = nullptr;
+  for (const double& point : stack_) {
+    if (prev != nullptr) {
+      visit(RainflowCycle{std::abs(point - *prev), 0.5 * (point + *prev), 0.5});
+    }
+    prev = &point;
+  }
+  if (has_last_ && prev_direction_ != 0.0) {
+    if (prev != nullptr && *prev != last_) {
+      visit(RainflowCycle{std::abs(last_ - *prev), 0.5 * (last_ + *prev), 0.5});
+    }
+  }
+}
+
+}  // namespace blam

@@ -1,0 +1,84 @@
+#include "degradation/tracker.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace blam {
+
+DegradationTracker::DegradationTracker(const DegradationModel& model, double temperature_c)
+    : model_{&model},
+      temperature_c_{temperature_c},
+      temp_stress_{model.temperature_stress(temperature_c)},
+      rainflow_{[this](const RainflowCycle& cycle) {
+        // Inline cycle_aging_term with the cached temperature stress: this
+        // fires for every closed cycle on the simulation hot path.
+        closed_cycle_sum_ += cycle.weight * cycle.range * cycle.mean * model_->params().k6 * temp_stress_;
+      }} {}
+
+void DegradationTracker::advance_stress_integral(Time t) {
+  if (t <= stress_integrated_to_) return;
+  stress_time_integral_ += temp_stress_ * (t - stress_integrated_to_).seconds();
+  stress_integrated_to_ = t;
+}
+
+void DegradationTracker::set_temperature(Time t, double temperature_c) {
+  if (t < stress_integrated_to_) {
+    throw std::invalid_argument{"DegradationTracker::set_temperature: time went backwards"};
+  }
+  advance_stress_integral(t);  // close the integral at the old stress
+  temperature_c_ = temperature_c;
+  temp_stress_ = model_->temperature_stress(temperature_c);
+}
+
+void DegradationTracker::record(Time t, double soc) {
+  if (has_sample_) {
+    if (t < last_time_) throw std::invalid_argument{"DegradationTracker: time went backwards"};
+    // Trapezoidal SoC-time integral: SoC ramps (dis)charge roughly linearly
+    // between transition points.
+    soc_time_integral_ += 0.5 * (last_soc_ + soc) * (t - last_time_).seconds();
+  }
+  advance_stress_integral(t);
+  rainflow_.push(soc);
+  last_time_ = t;
+  last_soc_ = soc;
+  has_sample_ = true;
+}
+
+double DegradationTracker::mean_soc() const {
+  if (!has_sample_) return 0.0;
+  const double elapsed = last_time_.seconds();
+  if (elapsed <= 0.0) return last_soc_;
+  return soc_time_integral_ / elapsed;
+}
+
+double DegradationTracker::calendar_linear(Time now) const {
+  if (!has_sample_) return 0.0;
+  // phi_bar over the observed trace; the battery existed from time zero.
+  double integral = soc_time_integral_;
+  const double elapsed = now.seconds();
+  if (now > last_time_) integral += last_soc_ * (now - last_time_).seconds();
+  if (elapsed <= 0.0) return 0.0;
+  const double phi_bar = integral / elapsed;
+
+  // Stress-time integral extended virtually to `now` at the current stress.
+  double stress_integral = stress_time_integral_;
+  if (now > stress_integrated_to_) {
+    stress_integral += temp_stress_ * (now - stress_integrated_to_).seconds();
+  }
+  const DegradationParams& p = model_->params();
+  return p.k1 * stress_integral * std::exp(p.k2 * (phi_bar - p.k3));
+}
+
+double DegradationTracker::cycle_linear() const {
+  double sum = closed_cycle_sum_;
+  rainflow_.for_each_residual([this, &sum](const RainflowCycle& cycle) {
+    sum += cycle.weight * cycle.range * cycle.mean * model_->params().k6 * temp_stress_;
+  });
+  return sum;
+}
+
+double DegradationTracker::degradation(Time now) const {
+  return model_->nonlinear(calendar_linear(now) + cycle_linear());
+}
+
+}  // namespace blam

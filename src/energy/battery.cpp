@@ -1,0 +1,40 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+
+namespace blam {
+
+Battery::Battery(Energy original_capacity, double initial_soc)
+    : original_capacity_{original_capacity},
+      stored_{original_capacity * initial_soc} {
+  if (original_capacity <= Energy::zero()) {
+    throw std::invalid_argument{"Battery: capacity must be positive"};
+  }
+  if (initial_soc < 0.0 || initial_soc > 1.0) {
+    throw std::invalid_argument{"Battery: initial SoC must be in [0,1]"};
+  }
+}
+
+Energy Battery::charge(Energy amount, double soc_cap) {
+  if (amount < Energy::zero()) throw std::invalid_argument{"Battery::charge: negative amount"};
+  soc_cap = std::clamp(soc_cap, 0.0, 1.0);
+  const Energy limit = std::min(current_capacity(), original_capacity_ * soc_cap);
+  const Energy headroom = limit > stored_ ? limit - stored_ : Energy::zero();
+  const Energy absorbed = std::min(amount, headroom);
+  stored_ += absorbed;
+  return absorbed;
+}
+
+Energy Battery::discharge(Energy amount) {
+  if (amount < Energy::zero()) throw std::invalid_argument{"Battery::discharge: negative amount"};
+  const Energy supplied = std::min(amount, stored_);
+  stored_ -= supplied;
+  return supplied;
+}
+
+void Battery::set_degradation(double degradation) {
+  degradation_ = std::clamp(degradation, degradation_, 1.0);
+  stored_ = std::min(stored_, current_capacity());
+}
+
+}  // namespace blam

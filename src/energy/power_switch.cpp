@@ -1,0 +1,49 @@
+#include "energy/power_switch.hpp"
+
+#include <stdexcept>
+
+namespace blam {
+
+PowerSwitch::PowerSwitch(Battery& battery, double soc_cap) : battery_{&battery}, soc_cap_{0.0} {
+  set_soc_cap(soc_cap);
+}
+
+void PowerSwitch::set_soc_cap(double soc_cap) {
+  if (soc_cap < 0.0 || soc_cap > 1.0) {
+    throw std::invalid_argument{"PowerSwitch: soc_cap must be in [0,1]"};
+  }
+  soc_cap_ = soc_cap;
+}
+
+PowerFlow PowerSwitch::apply(Energy harvest, Energy demand) {
+  if (harvest < Energy::zero() || demand < Energy::zero()) {
+    throw std::invalid_argument{"PowerSwitch::apply: negative energy"};
+  }
+  PowerFlow flow{};
+  if (harvest >= demand) {
+    flow.from_green = demand;
+    Energy surplus = harvest - demand;
+    if (supercap_ != nullptr) {
+      const Energy into_cap = supercap_->charge(surplus);
+      flow.charged += into_cap;
+      surplus -= into_cap;
+    }
+    const Energy into_battery = battery_->charge(surplus, soc_cap_);
+    flow.charged += into_battery;
+    flow.wasted = surplus - into_battery;
+  } else {
+    flow.from_green = harvest;
+    Energy shortfall = demand - harvest;
+    if (supercap_ != nullptr) {
+      const Energy from_cap = supercap_->discharge(shortfall);
+      flow.from_battery += from_cap;  // "from storage"; cap drains first
+      shortfall -= from_cap;
+    }
+    const Energy from_battery = battery_->discharge(shortfall);
+    flow.from_battery += from_battery;
+    flow.deficit = shortfall - from_battery;
+  }
+  return flow;
+}
+
+}  // namespace blam

@@ -1,0 +1,63 @@
+// Software-defined power switch (paper Fig. 1 and Eq. 5).
+//
+// For each accounting interval the switch routes energy: green energy powers
+// the node first; any surplus charges the storage up to the protocol's SoC
+// cap theta (the paper's y_u[t] policy); any deficit is drawn from storage.
+// A deficit the storage cannot cover is reported as a brownout so the MAC
+// can drop/skip the transmission.
+//
+// With an (optional) supercapacitor attached, the cap sits in front of the
+// battery: surplus fills the cap first and deficits drain it first, so
+// transmission micro-cycles never reach the battery while the cap holds —
+// the hybrid-storage extension the paper defers to future work.
+#pragma once
+
+#include "common/units.hpp"
+#include "energy/battery.hpp"
+#include "energy/supercap.hpp"
+
+namespace blam {
+
+struct PowerFlow {
+  /// Energy supplied to the load from the green source.
+  Energy from_green;
+  /// Energy supplied to the load from storage (supercap first, then the
+  /// battery when a cap is attached).
+  Energy from_battery;
+  /// Surplus green energy absorbed by the battery.
+  Energy charged;
+  /// Surplus green energy discarded (battery full or above the theta cap).
+  Energy wasted;
+  /// Demand that could not be met (load browned out).
+  Energy deficit;
+
+  [[nodiscard]] bool brownout() const { return deficit > Energy::zero(); }
+};
+
+class PowerSwitch {
+ public:
+  /// `soc_cap` is the theta threshold: max stored energy as a fraction of
+  /// the battery's original capacity. Throws if outside [0, 1].
+  PowerSwitch(Battery& battery, double soc_cap);
+
+  /// Attaches a supercapacitor in front of the battery (nullptr detaches).
+  /// The switch does not own it.
+  void attach_supercap(Supercap* supercap) { supercap_ = supercap; }
+
+  /// Routes `harvest` and `demand` over one interval; applies Eq. 5.
+  PowerFlow apply(Energy harvest, Energy demand);
+
+  [[nodiscard]] double soc_cap() const { return soc_cap_; }
+  void set_soc_cap(double soc_cap);
+
+  [[nodiscard]] const Battery& battery() const { return *battery_; }
+  [[nodiscard]] Battery& battery() { return *battery_; }
+  [[nodiscard]] const Supercap* supercap() const { return supercap_; }
+
+ private:
+  Battery* battery_;
+  Supercap* supercap_{nullptr};
+  double soc_cap_;
+};
+
+}  // namespace blam

@@ -1,0 +1,189 @@
+#include "energy/solar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+namespace blam {
+
+namespace {
+
+constexpr int kMinutesPerDay = 24 * 60;
+constexpr int kDaysPerYear = 365;
+
+enum class Weather { kClear, kCloudy, kOvercast };
+
+double weather_scale(Weather w) {
+  switch (w) {
+    case Weather::kClear:
+      return 1.0;
+    case Weather::kCloudy:
+      return 0.55;
+    case Weather::kOvercast:
+      return 0.18;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+SolarTrace::SolarTrace(const SolarTraceConfig& config) {
+  if (config.peak <= Power::zero()) {
+    throw std::invalid_argument{"SolarTrace: peak power must be positive"};
+  }
+  if (config.winter_summer_ratio <= 0.0 || config.winter_summer_ratio > 1.0) {
+    throw std::invalid_argument{"SolarTrace: winter_summer_ratio must be in (0,1]"};
+  }
+  if (config.min_day_hours <= 0.0 || config.min_day_hours > config.max_day_hours ||
+      config.max_day_hours >= 24.0) {
+    throw std::invalid_argument{"SolarTrace: invalid day-length range"};
+  }
+
+  Rng rng{config.seed, /*stream=*/0x501a7ULL};
+  watts_.resize(static_cast<std::size_t>(kDaysPerYear) * kMinutesPerDay);
+
+  Weather weather = Weather::kCloudy;
+  double noise = 0.0;  // Ornstein-Uhlenbeck state for intra-day variation
+  const double noise_theta = 0.05;  // per-minute mean reversion
+  const double noise_sigma = config.intraday_noise * std::sqrt(2.0 * noise_theta);
+
+  for (int day = 0; day < kDaysPerYear; ++day) {
+    // Season phase: day 172 (late June) is mid-summer.
+    const double season =
+        0.5 * (1.0 + std::cos(2.0 * std::numbers::pi * (day - 172) / 365.0));
+    const double seasonal_peak =
+        config.winter_summer_ratio + (1.0 - config.winter_summer_ratio) * season;
+    const double day_hours =
+        config.min_day_hours + (config.max_day_hours - config.min_day_hours) * season;
+    const double sunrise_min = (24.0 - day_hours) / 2.0 * 60.0;
+    const double sunset_min = sunrise_min + day_hours * 60.0;
+
+    // Day-weather Markov step.
+    const double u = rng.uniform();
+    switch (weather) {
+      case Weather::kClear:
+        weather = u < config.clear_stay ? Weather::kClear
+                  : u < config.clear_stay + 0.2 ? Weather::kCloudy
+                                                : Weather::kOvercast;
+        break;
+      case Weather::kCloudy:
+        weather = u < config.cloudy_stay               ? Weather::kCloudy
+                  : u < config.cloudy_stay + 0.3 ? Weather::kClear
+                                                 : Weather::kOvercast;
+        break;
+      case Weather::kOvercast:
+        weather = u < config.overcast_stay               ? Weather::kOvercast
+                  : u < config.overcast_stay + 0.35 ? Weather::kCloudy
+                                                    : Weather::kClear;
+        break;
+    }
+    const double clearness = weather_scale(weather);
+
+    for (int minute = 0; minute < kMinutesPerDay; ++minute) {
+      noise += noise_theta * (0.0 - noise) + noise_sigma * rng.normal();
+      double p = 0.0;
+      if (minute > sunrise_min && minute < sunset_min) {
+        const double phase = (minute - sunrise_min) / (sunset_min - sunrise_min);
+        const double envelope = std::sin(std::numbers::pi * phase);
+        p = config.peak.watts() * seasonal_peak * clearness * envelope * envelope *
+            std::max(0.0, 1.0 + noise);
+      }
+      watts_[static_cast<std::size_t>(day) * kMinutesPerDay + minute] = p;
+    }
+  }
+  build_cumulative();
+}
+
+SolarTrace::SolarTrace(std::vector<double> watts) : watts_{std::move(watts)} {
+  if (watts_.empty()) throw std::invalid_argument{"SolarTrace: empty trace"};
+  build_cumulative();
+}
+
+SolarTrace SolarTrace::from_csv(const std::string& path, Power peak) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"SolarTrace: cannot open " + path};
+  std::vector<double> watts;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // Accept either "value" or "index,value"; skip non-numeric header lines.
+    const auto comma = line.rfind(',');
+    const std::string cell = comma == std::string::npos ? line : line.substr(comma + 1);
+    try {
+      watts.push_back(std::stod(cell));
+    } catch (const std::exception&) {
+      if (!watts.empty()) throw std::runtime_error{"SolarTrace: malformed row: " + line};
+      // header row: skip
+    }
+  }
+  if (watts.empty()) throw std::runtime_error{"SolarTrace: no samples in " + path};
+  const double max = *std::max_element(watts.begin(), watts.end());
+  if (max <= 0.0) throw std::runtime_error{"SolarTrace: trace has no positive samples"};
+  for (double& w : watts) w = std::max(0.0, w) * peak.watts() / max;
+  return SolarTrace{std::move(watts)};
+}
+
+void SolarTrace::build_cumulative() {
+  cumulative_.resize(watts_.size() + 1);
+  cumulative_[0] = 0.0;
+  for (std::size_t i = 0; i < watts_.size(); ++i) {
+    cumulative_[i + 1] = cumulative_[i] + watts_[i] * 60.0;  // W * 60 s
+  }
+  total_joules_ = cumulative_.back();
+}
+
+Power SolarTrace::power_at(Time t) const {
+  const Time in_period = ((t % period()) + period()) % period();
+  const auto minute = static_cast<std::size_t>(in_period / Time::from_minutes(1.0));
+  return Power::from_watts(watts_[std::min(minute, watts_.size() - 1)]);
+}
+
+double SolarTrace::cumulative_joules(Time t_in_period) const {
+  const double minutes = t_in_period.seconds() / 60.0;
+  const auto idx = static_cast<std::size_t>(minutes);
+  if (idx >= watts_.size()) return total_joules_;
+  const double frac = minutes - static_cast<double>(idx);
+  return cumulative_[idx] + watts_[idx] * 60.0 * frac;
+}
+
+Energy SolarTrace::energy_between(Time t0, Time t1) const {
+  if (t1 < t0) throw std::invalid_argument{"SolarTrace::energy_between: t1 < t0"};
+  const Time p = period();
+  const std::int64_t whole_periods = (t1 - t0) / p;
+  const Time a = ((t0 % p) + p) % p;
+  Time b = a + ((t1 - t0) % p);
+  double joules = static_cast<double>(whole_periods) * total_joules_;
+  if (b <= p) {
+    joules += cumulative_joules(b) - cumulative_joules(a);
+  } else {
+    joules += (total_joules_ - cumulative_joules(a)) + cumulative_joules(b - p);
+  }
+  return Energy::from_joules(joules);
+}
+
+Power SolarTrace::peak() const {
+  return Power::from_watts(*std::max_element(watts_.begin(), watts_.end()));
+}
+
+Harvester::Harvester(const SolarTrace& trace, double panel_scale)
+    : trace_{&trace}, panel_scale_{panel_scale} {
+  if (panel_scale <= 0.0) throw std::invalid_argument{"Harvester: panel_scale must be positive"};
+}
+
+void Harvester::resample_jitter(Rng& rng, double spread) {
+  spread = std::clamp(spread, 0.0, 1.0);
+  jitter_ = rng.uniform(1.0 - spread, 1.0);
+}
+
+Power Harvester::power_at(Time t) const {
+  return trace_->power_at(t) * (panel_scale_ * jitter_);
+}
+
+Energy Harvester::energy_between(Time t0, Time t1) const {
+  return trace_->energy_between(t0, t1) * (panel_scale_ * jitter_);
+}
+
+}  // namespace blam

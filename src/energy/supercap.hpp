@@ -1,0 +1,44 @@
+// Supercapacitor buffer for hybrid battery+supercap storage.
+//
+// The paper's related work discusses hybrid power management with
+// supercapacitors (Petrariu et al.) and leaves "setups considering
+// supercapacitors" as future work; this module implements that extension.
+// A small supercap absorbs the transmission micro-cycles before they reach
+// the battery (cycle-aging relief), at the price of leakage — supercaps
+// self-discharge orders of magnitude faster than batteries, so they cannot
+// bridge nights, which is exactly why the battery (and the paper's MAC)
+// remains necessary.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace blam {
+
+class Supercap {
+ public:
+  /// `capacity` > 0; `charge_efficiency` in (0, 1]; `leak_per_day` in
+  /// [0, 1) is the fraction of stored energy lost per day.
+  Supercap(Energy capacity, double charge_efficiency = 0.95, double leak_per_day = 0.2);
+
+  [[nodiscard]] Energy capacity() const { return capacity_; }
+  [[nodiscard]] Energy stored() const { return stored_; }
+  [[nodiscard]] double fill() const { return stored_ / capacity_; }
+
+  /// Offers `amount` for storage; returns the energy CONSUMED from the
+  /// source (stored energy grows by consumed * efficiency).
+  Energy charge(Energy amount);
+
+  /// Draws up to `amount`; returns the energy actually supplied.
+  Energy discharge(Energy amount);
+
+  /// Applies exponential self-discharge over `dt`.
+  void leak(Time dt);
+
+ private:
+  Energy capacity_;
+  Energy stored_{};
+  double efficiency_;
+  double leak_per_day_;
+};
+
+}  // namespace blam

@@ -1,0 +1,28 @@
+#include "energy/thermal.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace blam {
+
+TemperatureModel::TemperatureModel(const ThermalConfig& config) : config_{config} {
+  if (config.seasonal_amplitude_c < 0.0 || config.diurnal_amplitude_c < 0.0) {
+    throw std::invalid_argument{"TemperatureModel: amplitudes must be non-negative"};
+  }
+}
+
+double TemperatureModel::at(Time t) const {
+  if (config_.insulated) return config_.fixed_c;
+  const double day = t.days();
+  // Coldest day of the year: day 15 (mid-January); warmest: day ~197.
+  const double seasonal =
+      -config_.seasonal_amplitude_c * std::cos(2.0 * std::numbers::pi * (day - 15.0) / 365.0);
+  // Coldest hour: 4 am; warmest: 4 pm.
+  const double hour = (day - std::floor(day)) * 24.0;
+  const double diurnal =
+      -config_.diurnal_amplitude_c * std::cos(2.0 * std::numbers::pi * (hour - 4.0) / 24.0);
+  return config_.mean_c + seasonal + diurnal;
+}
+
+}  // namespace blam

@@ -1,0 +1,42 @@
+// Ambient/battery temperature model.
+//
+// The paper's evaluation fixes the battery's internal temperature at 25 C
+// ("we consider the battery to be insulated"). Real outdoor LPWAN nodes are
+// not always insulated, and both aging terms (Eqs. 1-2) carry the shared
+// temperature stress S_T — so this extension provides a deterministic
+// seasonal + diurnal ambient model the degradation tracker can follow, with
+// the paper's insulated behaviour as the default.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace blam {
+
+struct ThermalConfig {
+  /// Insulated battery at a fixed temperature (the paper's setting).
+  bool insulated{true};
+  double fixed_c{25.0};
+
+  // Outdoor model (used when insulated == false):
+  //   T(t) = mean + seasonal * cos(year phase) + diurnal * cos(day phase)
+  // with the year's coldest point in mid-January and the day's coldest at
+  // ~4 am.
+  double mean_c{15.0};
+  double seasonal_amplitude_c{10.0};
+  double diurnal_amplitude_c{6.0};
+};
+
+class TemperatureModel {
+ public:
+  explicit TemperatureModel(const ThermalConfig& config);
+
+  /// Battery temperature (deg C) at simulation time `t`.
+  [[nodiscard]] double at(Time t) const;
+
+  [[nodiscard]] const ThermalConfig& config() const { return config_; }
+
+ private:
+  ThermalConfig config_;
+};
+
+}  // namespace blam

@@ -1,0 +1,3 @@
+// Ewma is header-only; this translation unit exists to give the module a
+// home in the library and to anchor its vtable-free ODR.
+#include "forecast/ewma.hpp"

@@ -1,0 +1,39 @@
+// Exponentially weighted moving average (paper Eq. 13):
+//   e[p] = beta * x[p-1] + (1 - beta) * e[p-1]
+// where beta is the importance of the newest observation.
+#pragma once
+
+#include <stdexcept>
+
+namespace blam {
+
+class Ewma {
+ public:
+  /// `beta` in [0, 1]. The first observation initializes the estimate.
+  explicit Ewma(double beta) : beta_{beta} {
+    if (beta < 0.0 || beta > 1.0) throw std::invalid_argument{"Ewma: beta must be in [0,1]"};
+  }
+
+  void observe(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = beta_ * x + (1.0 - beta_) * value_;
+    }
+  }
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+
+  /// Current estimate; `fallback` until the first observation.
+  [[nodiscard]] double value_or(double fallback) const { return initialized_ ? value_ : fallback; }
+
+  [[nodiscard]] double beta() const { return beta_; }
+
+ private:
+  double beta_;
+  double value_{0.0};
+  bool initialized_{false};
+};
+
+}  // namespace blam

@@ -1,0 +1,47 @@
+#include "forecast/retx_estimator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace blam {
+
+RetxEstimator::RetxEstimator(std::size_t max_windows, int max_retx) : max_retx_{max_retx} {
+  if (max_windows == 0) throw std::invalid_argument{"RetxEstimator: need at least one window"};
+  if (max_retx < 0) throw std::invalid_argument{"RetxEstimator: max_retx must be >= 0"};
+  counts_.resize(max_windows);
+  for (auto& w : counts_) w.retx_counts.assign(static_cast<std::size_t>(max_retx) + 1, 0);
+}
+
+void RetxEstimator::record(std::size_t t, int retx) {
+  if (t >= counts_.size()) throw std::out_of_range{"RetxEstimator::record: window out of range"};
+  retx = std::clamp(retx, 0, max_retx_);
+  WindowStats& w = counts_[t];
+  ++w.retx_counts[static_cast<std::size_t>(retx)];
+  ++w.selections;
+  w.retx_sum += static_cast<std::uint64_t>(retx);
+}
+
+double RetxEstimator::probability_at_most(int r, std::size_t t) const {
+  if (t >= counts_.size()) throw std::out_of_range{"RetxEstimator: window out of range"};
+  if (r < 0) return 0.0;
+  const WindowStats& w = counts_[t];
+  if (w.selections == 0) return 1.0;
+  r = std::min(r, max_retx_);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i <= r; ++i) cumulative += w.retx_counts[static_cast<std::size_t>(i)];
+  return static_cast<double>(cumulative) / static_cast<double>(w.selections);
+}
+
+double RetxEstimator::expected_transmissions(std::size_t t) const {
+  if (t >= counts_.size()) throw std::out_of_range{"RetxEstimator: window out of range"};
+  const WindowStats& w = counts_[t];
+  if (w.selections == 0) return 1.0;
+  return 1.0 + static_cast<double>(w.retx_sum) / static_cast<double>(w.selections);
+}
+
+std::uint64_t RetxEstimator::selections(std::size_t t) const {
+  if (t >= counts_.size()) throw std::out_of_range{"RetxEstimator: window out of range"};
+  return counts_[t].selections;
+}
+
+}  // namespace blam

@@ -1,0 +1,50 @@
+// Per-forecast-window retransmission estimation (paper Eq. 14).
+//
+// The node counts, for each forecast-window index t, how often it selected
+// that window (S_t) and how many retransmissions each selection cost
+// (I_{r,t}). P(r|t) is the empirical CDF of retransmission counts; the MAC
+// uses the expected number of *transmissions* (1 + E[retx | t]) to scale its
+// per-window energy estimate, steering nodes away from crowded windows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace blam {
+
+class RetxEstimator {
+ public:
+  /// `max_windows`: largest forecast-window index + 1 this node can use.
+  /// `max_retx`: cap on counted retransmissions (LoRaWAN allows 7 after the
+  /// first transmission; observations above the cap are clamped into it).
+  explicit RetxEstimator(std::size_t max_windows, int max_retx = 7);
+
+  /// Records that a packet sent in window `t` needed `retx` retransmissions.
+  void record(std::size_t t, int retx);
+
+  /// Empirical P(retransmissions <= r | window t), Eq. 14. Returns 1.0 for
+  /// a window never selected (optimistic prior: assume no retransmissions).
+  [[nodiscard]] double probability_at_most(int r, std::size_t t) const;
+
+  /// Expected number of transmissions (first + retransmissions) in window
+  /// `t`; 1.0 for windows with no history.
+  [[nodiscard]] double expected_transmissions(std::size_t t) const;
+
+  /// Number of times window `t` was selected (paper's S_t).
+  [[nodiscard]] std::uint64_t selections(std::size_t t) const;
+
+  [[nodiscard]] std::size_t max_windows() const { return counts_.size(); }
+  [[nodiscard]] int max_retx() const { return max_retx_; }
+
+ private:
+  struct WindowStats {
+    std::vector<std::uint64_t> retx_counts;  // I_{r,t}, r in [0, max_retx]
+    std::uint64_t selections{0};             // S_t
+    std::uint64_t retx_sum{0};
+  };
+
+  std::vector<WindowStats> counts_;
+  int max_retx_;
+};
+
+}  // namespace blam

@@ -1,0 +1,32 @@
+#include "forecast/solar_forecaster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace blam {
+
+SolarForecaster::SolarForecaster(const Harvester& harvester, double error_sigma, Rng rng)
+    : harvester_{&harvester}, error_sigma_{error_sigma}, rng_{rng} {
+  if (error_sigma < 0.0) throw std::invalid_argument{"SolarForecaster: negative error sigma"};
+}
+
+std::vector<Energy> SolarForecaster::forecast(Time start, Time window, int n) {
+  if (n < 0) throw std::invalid_argument{"SolarForecaster: negative window count"};
+  if (window <= Time::zero()) throw std::invalid_argument{"SolarForecaster: window must be positive"};
+  std::vector<Energy> result;
+  result.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    result.push_back(forecast_one(start + window * static_cast<std::int64_t>(i),
+                                  start + window * static_cast<std::int64_t>(i + 1)));
+  }
+  return result;
+}
+
+Energy SolarForecaster::forecast_one(Time t0, Time t1) {
+  const Energy truth = harvester_->energy_between(t0, t1);
+  if (error_sigma_ == 0.0) return truth;
+  const double factor = std::max(0.0, 1.0 + rng_.normal(0.0, error_sigma_));
+  return truth * factor;
+}
+
+}  // namespace blam

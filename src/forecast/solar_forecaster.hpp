@@ -1,0 +1,40 @@
+// On-sensor very-short-term green-energy forecaster.
+//
+// The paper assumes the forecaster of Kraemer et al. (locally trainable,
+// 1-30 min horizon) is deployed on every node and accurate within a
+// forecast window. We model that contract: the forecaster returns the true
+// per-window harvest of the node's harvester, optionally corrupted by
+// multiplicative Gaussian error so forecast-sensitivity studies can dial
+// accuracy down.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "energy/solar.hpp"
+
+namespace blam {
+
+class SolarForecaster {
+ public:
+  /// `error_sigma` is the relative (multiplicative) forecast error standard
+  /// deviation; 0 gives a perfect forecaster.
+  SolarForecaster(const Harvester& harvester, double error_sigma, Rng rng);
+
+  /// Forecast harvest for window [start + i*window, start + (i+1)*window),
+  /// i in [0, n). Negative noise realizations clamp at zero.
+  [[nodiscard]] std::vector<Energy> forecast(Time start, Time window, int n);
+
+  /// Forecast for a single interval.
+  [[nodiscard]] Energy forecast_one(Time t0, Time t1);
+
+  [[nodiscard]] double error_sigma() const { return error_sigma_; }
+
+ private:
+  const Harvester* harvester_;
+  double error_sigma_;
+  Rng rng_;
+};
+
+}  // namespace blam

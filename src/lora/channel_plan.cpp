@@ -1,0 +1,28 @@
+#include "lora/channel_plan.hpp"
+
+#include <stdexcept>
+
+namespace blam {
+
+ChannelPlan::ChannelPlan(int uplink_channels, int downlink_channels)
+    : uplink_{uplink_channels}, downlink_{downlink_channels} {
+  if (uplink_channels < 1 || uplink_channels > 64) {
+    throw std::invalid_argument{"ChannelPlan: uplink channels must be in [1,64]"};
+  }
+  if (downlink_channels < 1 || downlink_channels > 8) {
+    throw std::invalid_argument{"ChannelPlan: downlink channels must be in [1,8]"};
+  }
+}
+
+int ChannelPlan::random_uplink_channel(Rng& rng) const {
+  return static_cast<int>(rng.uniform_int(0, uplink_ - 1));
+}
+
+int ChannelPlan::rx1_channel(int uplink_channel) const {
+  if (uplink_channel < 0 || uplink_channel >= uplink_) {
+    throw std::invalid_argument{"ChannelPlan: uplink channel out of range"};
+  }
+  return uplink_ + (uplink_channel % downlink_);
+}
+
+}  // namespace blam

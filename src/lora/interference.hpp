@@ -1,0 +1,57 @@
+// Co-channel interference and capture model for LoRa receptions.
+//
+// Re-implements the NS-3 lorawan `LoraInterferenceHelper` (Magrin et al.,
+// based on Goursaud & Gorce): each reception is compared against the
+// cumulative energy of overlapping transmissions, grouped by the interferer's
+// spreading factor, and survives only if its signal-to-interference ratio
+// clears the per-(signal SF, interferer SF) isolation threshold. The diagonal
+// (co-SF) requires a +6 dB capture margin; imperfect SF orthogonality gives
+// the negative off-diagonal entries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/units.hpp"
+#include "lora/params.hpp"
+
+namespace blam {
+
+/// One packet as seen on the air at the receiver.
+struct AirPacket {
+  std::uint64_t id{0};
+  Time start{};
+  Time end{};
+  double rx_power_dbm{0.0};
+  SpreadingFactor sf{SpreadingFactor::kSF7};
+  int channel{0};
+};
+
+/// Isolation threshold (dB): minimum SIR for a `signal` SF packet to survive
+/// interference from a `interferer` SF packet.
+[[nodiscard]] double sir_isolation_db(SpreadingFactor signal, SpreadingFactor interferer);
+
+class InterferenceTracker {
+ public:
+  /// Registers a packet whose reception just started. `packet.end` must
+  /// already be known (receptions have deterministic duration).
+  void add(const AirPacket& packet);
+
+  /// Evaluates whether `packet` (previously added) survives all interference
+  /// that overlapped it. Call at `packet.end`. Does not remove the packet:
+  /// it may still interfere with receptions in progress.
+  [[nodiscard]] bool survives(const AirPacket& packet) const;
+
+  /// Drops tracked packets that can no longer overlap receptions starting at
+  /// or after `now` minus the maximum packet airtime. Call opportunistically.
+  void prune(Time now);
+
+  [[nodiscard]] std::size_t tracked() const { return packets_.size(); }
+
+ private:
+  // Packets ordered by start time (arrival order). Bounded by prune().
+  std::deque<AirPacket> packets_;
+};
+
+}  // namespace blam

@@ -1,0 +1,29 @@
+#include "lora/link.hpp"
+
+#include <algorithm>
+
+namespace blam {
+
+double PathLossModel::path_loss_db(double d_m) const {
+  const double d = std::max(d_m, reference_m);
+  return reference_loss_db + 10.0 * exponent * std::log10(d / reference_m);
+}
+
+Link::Link(Position device, Position gateway, const PathLossModel& model, Rng& rng)
+    : distance_m_{device.distance_to(gateway)} {
+  loss_db_ = model.path_loss_db(distance_m_);
+  if (model.shadowing_sigma_db > 0.0) {
+    loss_db_ += rng.normal(0.0, model.shadowing_sigma_db);
+  }
+}
+
+std::optional<SpreadingFactor> Link::min_spreading_factor(double tx_power_dbm,
+                                                          double margin_db) const {
+  const double rx_dbm = rx_power_dbm(tx_power_dbm);
+  for (SpreadingFactor sf : kAllSpreadingFactors) {
+    if (rx_dbm >= gateway_sensitivity_dbm(sf) + margin_db) return sf;
+  }
+  return std::nullopt;
+}
+
+}  // namespace blam

@@ -1,0 +1,64 @@
+// Link budget: positions, log-distance path loss with per-link shadowing,
+// received power, and distance-based spreading-factor assignment — the
+// propagation side of the NS-3 lorawan module re-implemented.
+#pragma once
+
+#include <cmath>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "lora/params.hpp"
+
+namespace blam {
+
+struct Position {
+  double x_m{0.0};
+  double y_m{0.0};
+
+  [[nodiscard]] double distance_to(const Position& other) const {
+    const double dx = x_m - other.x_m;
+    const double dy = y_m - other.y_m;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+};
+
+/// Log-distance path loss:
+///   PL(d) = reference_loss_db + 10 * exponent * log10(d / reference_m)
+/// Defaults match the NS-3 lorawan smart-city example (Magrin et al.).
+struct PathLossModel {
+  double reference_m{1.0};
+  double reference_loss_db{7.7};
+  double exponent{3.76};
+  /// Log-normal shadowing standard deviation (dB); 0 disables shadowing.
+  double shadowing_sigma_db{0.0};
+
+  /// Deterministic (median) path loss in dB at distance `d_m` (>= 1 m
+  /// enforced by clamping, matching NS-3).
+  [[nodiscard]] double path_loss_db(double d_m) const;
+};
+
+/// One device<->gateway link with a frozen shadowing realization. Shadowing
+/// is drawn once per link (slow fading), as in the NS-3 scenario the paper
+/// uses, so a node's SF assignment is stable.
+class Link {
+ public:
+  Link(Position device, Position gateway, const PathLossModel& model, Rng& rng);
+
+  [[nodiscard]] double distance_m() const { return distance_m_; }
+  [[nodiscard]] double total_loss_db() const { return loss_db_; }
+
+  /// Received power at the other end for a given transmit power.
+  [[nodiscard]] double rx_power_dbm(double tx_power_dbm) const { return tx_power_dbm - loss_db_; }
+
+  /// Smallest SF whose *gateway* sensitivity (plus margin) the uplink
+  /// closes at `tx_power_dbm`; nullopt if even SF12 cannot close the link.
+  [[nodiscard]] std::optional<SpreadingFactor> min_spreading_factor(double tx_power_dbm,
+                                                                    double margin_db = 0.0) const;
+
+ private:
+  double distance_m_;
+  double loss_db_;
+};
+
+}  // namespace blam

@@ -1,0 +1,71 @@
+// LoRaWAN Adaptive Data Rate (ADR), network-server side.
+//
+// The paper's MAC runs on top of standard LoRaWAN parameter control ("the
+// nodes can change their transmission parameters dynamically as governed by
+// the underlying MAC layer or the network server", Sec. III-B) — its EWMA
+// energy estimate (Eq. 13) exists precisely because ADR changes the cost of
+// a transmission over time. This implements the standard server-side ADR:
+// keep the SNR of the last N uplinks, compute the margin over the SF's
+// demodulation floor, and convert every 3 dB of spare margin into one step
+// of data rate (SF down) and then TX power (down to the minimum).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "lora/params.hpp"
+
+namespace blam {
+
+/// SNR demodulation floor (dB) for each SF at 125 kHz, per the LoRaWAN
+/// specification / SX1301 datasheet.
+[[nodiscard]] double required_snr_db(SpreadingFactor sf);
+
+/// Thermal-noise floor (dBm) of a receiver: -174 + 10 log10(BW) + NF.
+[[nodiscard]] double noise_floor_dbm(double bandwidth_hz, double noise_figure_db = 6.0);
+
+/// A parameter adjustment the server piggybacks on an ACK (LinkADRReq).
+struct AdrCommand {
+  SpreadingFactor sf{SpreadingFactor::kSF10};
+  double tx_power_dbm{14.0};
+};
+
+class AdrController {
+ public:
+  struct Config {
+    /// Uplinks remembered per node.
+    int history{20};
+    /// Safety margin (dB) on top of the demodulation floor.
+    double device_margin_db{10.0};
+    /// TX power bounds (dBm); steps of 2 dB like US-915.
+    double max_tx_power_dbm{14.0};
+    double min_tx_power_dbm{2.0};
+    /// Fewest uplinks before the first adjustment.
+    int min_history{10};
+  };
+
+  explicit AdrController(const Config& config);
+
+  /// Records a decoded uplink's SNR for `node_id`.
+  void observe(std::uint32_t node_id, double snr_db);
+
+  /// Computes the adjusted parameters for the node, or nullopt when history
+  /// is too short or nothing would change. `current` is what the node uses
+  /// now; the result never increases SF and never raises power above max.
+  [[nodiscard]] std::optional<AdrCommand> advise(std::uint32_t node_id,
+                                                 const AdrCommand& current) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct History {
+    std::deque<double> snr_db;
+  };
+
+  Config config_;
+  std::unordered_map<std::uint32_t, History> nodes_;
+};
+
+}  // namespace blam

@@ -1,0 +1,41 @@
+#include "mac/blam_mac.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace blam {
+
+BlamMac::BlamMac(double theta) : theta_{theta} {
+  if (theta <= 0.0 || theta > 1.0) {
+    throw std::invalid_argument{"BlamMac: theta must be in (0,1]"};
+  }
+}
+
+MacDecision BlamMac::select_window(const WindowContext& ctx) {
+  WindowSelectorInput input;
+  input.battery = ctx.battery;
+  input.storage_cap = ctx.battery_capacity * theta_;
+  input.w_u = ctx.w_u;
+  input.w_b = ctx.w_b;
+  input.harvest = ctx.harvest_forecast;
+  input.tx_cost = ctx.tx_cost;
+  input.max_tx = ctx.max_tx;
+  input.utility = ctx.utility;
+  last_ = selector_.select(input);
+  return MacDecision{last_.success, last_.success ? last_.window : 0};
+}
+
+void BlamMac::set_soc_cap(double theta) {
+  if (theta <= 0.0 || theta > 1.0) {
+    throw std::invalid_argument{"BlamMac::set_soc_cap: theta must be in (0,1]"};
+  }
+  theta_ = theta;
+}
+
+std::string BlamMac::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "H-%.0f", theta_ * 100.0);
+  return buf;
+}
+
+}  // namespace blam

@@ -1,0 +1,32 @@
+// The proposed battery lifespan-aware MAC policy: Algorithm 1 over the
+// forecast windows of each sampling period, with the theta charging cap.
+// H-5 / H-50 / H-100 in the paper are this policy with theta = 0.05 / 0.5 /
+// 1.0.
+#pragma once
+
+#include "core/window_selector.hpp"
+#include "mac/device_mac.hpp"
+
+namespace blam {
+
+class BlamMac final : public MacPolicy {
+ public:
+  explicit BlamMac(double theta);
+
+  [[nodiscard]] MacDecision select_window(const WindowContext& ctx) override;
+  [[nodiscard]] double soc_cap() const override { return theta_; }
+  void set_soc_cap(double theta) override;
+  [[nodiscard]] bool needs_forecasts() const override { return true; }
+  [[nodiscard]] bool reports_soc() const override { return true; }
+  [[nodiscard]] std::string name() const override;
+
+  /// Details of the most recent selection (diagnostics, Fig. 3 bench).
+  [[nodiscard]] const WindowSelection& last_selection() const { return last_; }
+
+ private:
+  double theta_;
+  WindowSelector selector_;
+  WindowSelection last_{};
+};
+
+}  // namespace blam

@@ -1,0 +1,196 @@
+#include "mac/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace blam {
+
+namespace {
+
+constexpr std::uint8_t kMhdrConfirmedUp = 0x80;
+constexpr std::uint8_t kMhdrUnconfirmedUp = 0x40;
+constexpr std::uint8_t kMhdrDown = 0x60;
+constexpr std::uint8_t kFctrlAck = 0x20;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_{bytes} {}
+
+  std::uint8_t u8() {
+    require(1);
+    return bytes_[pos_++];
+  }
+  std::uint16_t u16() {
+    require(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(bytes_[pos_]) |
+                            static_cast<std::uint16_t>(bytes_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    return lo | static_cast<std::uint32_t>(u16()) << 16;
+  }
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) throw std::invalid_argument{"codec: truncated frame"};
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_{0};
+};
+
+std::uint8_t q8(double fraction) {
+  const double clamped = std::clamp(fraction, 0.0, 1.0);
+  return static_cast<std::uint8_t>(std::lround(clamped * 255.0));
+}
+
+double from_q8(std::uint8_t v) { return static_cast<double>(v) / 255.0; }
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_uplink(const UplinkFrame& frame) {
+  if (frame.soc_report.size() > 2) {
+    throw std::invalid_argument{"encode_uplink: the protocol reports at most two SoC samples"};
+  }
+  if (frame.attempt < 0 || frame.attempt > 7) {
+    throw std::invalid_argument{"encode_uplink: attempt out of [0,7]"};
+  }
+  if (frame.app_payload_bytes < 1) {
+    throw std::invalid_argument{"encode_uplink: need at least one payload byte"};
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kUplinkHeaderBytes + 4 * frame.soc_report.size() +
+              static_cast<std::size_t>(frame.app_payload_bytes));
+
+  out.push_back(frame.confirmed ? kMhdrConfirmedUp : kMhdrUnconfirmedUp);
+  put_u32(out, frame.node_id);
+  // FCtrl: FOptsLen in the low nibble (standard); the transmission attempt
+  // rides in bits 5-7 (a simulator-specific use of the RFU bits).
+  const auto fopts_len = static_cast<std::uint8_t>(2 * frame.soc_report.size());
+  out.push_back(static_cast<std::uint8_t>(fopts_len | (frame.attempt << 5)));
+  put_u16(out, static_cast<std::uint16_t>(frame.seq & 0xffff));
+
+  // FOpts: SoC transition points as (minutes-before-newest u8, SoC Q8) —
+  // 2 bytes per sample, 4 bytes for the paper's two-point report.
+  const Time newest =
+      frame.soc_report.empty() ? Time::zero() : frame.soc_report.back().t;
+  for (const SocSample& sample : frame.soc_report) {
+    const double minutes_before = (newest - sample.t).minutes();
+    out.push_back(static_cast<std::uint8_t>(
+        std::min(255.0, std::max(0.0, std::round(minutes_before)))));
+    out.push_back(q8(sample.soc));
+  }
+
+  out.push_back(1);  // FPort
+  // Application payload: first byte carries the selected window, the rest
+  // is application data (zero-filled in simulation).
+  out.push_back(static_cast<std::uint8_t>(std::clamp(frame.selected_window, 0, 255)));
+  for (int i = 1; i < frame.app_payload_bytes; ++i) out.push_back(0);
+  return out;
+}
+
+UplinkFrame decode_uplink(std::span<const std::uint8_t> bytes, Time reference) {
+  Reader reader{bytes};
+  UplinkFrame frame;
+
+  const std::uint8_t mhdr = reader.u8();
+  if (mhdr == kMhdrConfirmedUp) {
+    frame.confirmed = true;
+  } else if (mhdr == kMhdrUnconfirmedUp) {
+    frame.confirmed = false;
+  } else {
+    throw std::invalid_argument{"decode_uplink: not an uplink MHDR"};
+  }
+  frame.node_id = reader.u32();
+  const std::uint8_t fctrl = reader.u8();
+  const std::size_t fopts_len = fctrl & 0x0f;
+  frame.attempt = (fctrl >> 5) & 0x07;
+  frame.seq = reader.u16();
+
+  if (fopts_len % 2 != 0 || fopts_len > 4) {
+    throw std::invalid_argument{"decode_uplink: malformed FOpts length"};
+  }
+  for (std::size_t i = 0; i < fopts_len / 2; ++i) {
+    const std::uint8_t minutes_before = reader.u8();
+    const double soc = from_q8(reader.u8());
+    frame.soc_report.push_back(SocSample{reference - Time::from_minutes(minutes_before), soc});
+  }
+
+  if (reader.u8() != 1) throw std::invalid_argument{"decode_uplink: unexpected FPort"};
+  if (reader.remaining() < 1) throw std::invalid_argument{"decode_uplink: missing payload"};
+  frame.app_payload_bytes = static_cast<int>(reader.remaining());
+  frame.selected_window = reader.u8();
+  reader.skip(reader.remaining());
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_ack(const AckFrame& ack) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kAckHeaderBytes + static_cast<std::size_t>(ack.total_bytes()));
+  out.push_back(kMhdrDown);
+  put_u32(out, ack.node_id);
+  std::uint8_t fctrl = kFctrlAck;
+  if (ack.has_degradation) fctrl |= 0x01;
+  if (ack.adr.has_value()) fctrl |= 0x02;
+  if (ack.theta.has_value()) fctrl |= 0x04;
+  out.push_back(fctrl);
+  put_u16(out, static_cast<std::uint16_t>(ack.seq & 0xffff));
+  if (ack.has_degradation) out.push_back(q8(ack.normalized_degradation));
+  if (ack.adr.has_value()) {
+    // LinkADRReq-like: SF in the high nibble, power step in the low nibble,
+    // then a fixed channel mask and redundancy byte.
+    const auto power_step = static_cast<std::uint8_t>(
+        std::clamp(static_cast<int>((ack.adr->tx_power_dbm - 2.0) / 2.0), 0, 15));
+    out.push_back(static_cast<std::uint8_t>((sf_value(ack.adr->sf) << 4) | power_step));
+    put_u16(out, 0x00ff);  // channel mask: first 8 channels
+    out.push_back(0x01);   // redundancy: NbTrans 1
+  }
+  if (ack.theta.has_value()) out.push_back(q8(*ack.theta));
+  return out;
+}
+
+AckFrame decode_ack(std::span<const std::uint8_t> bytes) {
+  Reader reader{bytes};
+  AckFrame ack;
+  if (reader.u8() != kMhdrDown) throw std::invalid_argument{"decode_ack: not a downlink MHDR"};
+  ack.node_id = reader.u32();
+  const std::uint8_t fctrl = reader.u8();
+  if ((fctrl & kFctrlAck) == 0) throw std::invalid_argument{"decode_ack: ACK bit missing"};
+  ack.seq = reader.u16();
+  if ((fctrl & 0x01) != 0) {
+    ack.has_degradation = true;
+    ack.normalized_degradation = from_q8(reader.u8());
+  }
+  if ((fctrl & 0x02) != 0) {
+    const std::uint8_t dr = reader.u8();
+    AdrCommand command;
+    command.sf = sf_from_value(dr >> 4);
+    command.tx_power_dbm = 2.0 + 2.0 * (dr & 0x0f);
+    reader.skip(3);  // channel mask + redundancy
+    ack.adr = command;
+  }
+  if ((fctrl & 0x04) != 0) {
+    ack.theta = from_q8(reader.u8());
+  }
+  return ack;
+}
+
+}  // namespace blam

@@ -1,0 +1,2 @@
+// MacPolicy is an interface; this TU anchors its vtable.
+#include "mac/device_mac.hpp"

@@ -1,0 +1,74 @@
+// Device-side MAC policy interface.
+//
+// The class-A transmission machinery (attempts, receive windows, ACK
+// timeouts) is shared by every protocol and lives in net::Node; what varies
+// between LoRaWAN, BLAM and the H-50C ablation is only (a) WHICH forecast
+// window of the sampling period carries the packet and (b) the charging cap
+// theta. MacPolicy captures exactly that variation, so every figure's
+// protocol variants share one code path.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/units.hpp"
+#include "core/utility.hpp"
+
+namespace blam {
+
+/// Everything a policy may consult when picking a window for the packet
+/// generated at the start of the current sampling period.
+struct WindowContext {
+  /// Number of forecast windows in this sampling period (>= 1).
+  int n_windows{1};
+  Time window_length{};
+  Time period_start{};
+  /// Current stored battery energy.
+  Energy battery{};
+  /// Battery original capacity (theta cap base).
+  Energy battery_capacity{};
+  /// Normalized degradation w_u received from the gateway.
+  double w_u{0.0};
+  /// Degradation-vs-utility weight w_b.
+  double w_b{1.0};
+  /// Forecast harvest per window (empty if the policy does not need it).
+  std::span<const Energy> harvest_forecast;
+  /// Estimated transmission cost per window (EWMA * expected transmissions).
+  std::span<const Energy> tx_cost;
+  /// Worst-case one-packet energy (DIF normalizer).
+  Energy max_tx{};
+  const UtilityFunction* utility{nullptr};
+};
+
+struct MacDecision {
+  /// False = policy drops the packet (Algorithm 1 FAIL).
+  bool transmit{true};
+  /// Window index in [0, n_windows).
+  int window{0};
+};
+
+class MacPolicy {
+ public:
+  virtual ~MacPolicy() = default;
+
+  [[nodiscard]] virtual MacDecision select_window(const WindowContext& ctx) = 0;
+
+  /// Theta: stored-energy ceiling as a fraction of original capacity.
+  [[nodiscard]] virtual double soc_cap() const = 0;
+
+  /// Adopts a network-manager theta update (adaptive-theta extension).
+  /// Default: ignored (policies without a cap).
+  virtual void set_soc_cap(double theta) { (void)theta; }
+
+  /// Whether the node must compute solar forecasts and energy estimates for
+  /// this policy (false for plain LoRaWAN — saves simulation time and models
+  /// the overhead difference of Table I).
+  [[nodiscard]] virtual bool needs_forecasts() const = 0;
+
+  /// Whether uplinks carry the SoC trace report (BLAM protocol field).
+  [[nodiscard]] virtual bool reports_soc() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace blam

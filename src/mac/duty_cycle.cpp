@@ -1,0 +1,20 @@
+#include "mac/duty_cycle.hpp"
+
+#include <stdexcept>
+
+namespace blam {
+
+DutyCycleLimiter::DutyCycleLimiter(double max_duty) : max_duty_{max_duty} {
+  if (max_duty <= 0.0 || max_duty > 1.0) {
+    throw std::invalid_argument{"DutyCycleLimiter: max_duty must be in (0,1]"};
+  }
+}
+
+void DutyCycleLimiter::record(Time start, Time airtime) {
+  if (airtime < Time::zero()) throw std::invalid_argument{"DutyCycleLimiter: negative airtime"};
+  const Time off = airtime * (1.0 / max_duty_ - 1.0);
+  const Time candidate = start + airtime + off;
+  if (candidate > next_allowed_) next_allowed_ = candidate;
+}
+
+}  // namespace blam

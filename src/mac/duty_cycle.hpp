@@ -1,0 +1,35 @@
+// Regulatory duty-cycle enforcement (ETSI-style).
+//
+// EU-868 caps a device at 1% duty cycle per sub-band; the standard
+// implementation (also used by NS-3 lorawan) is the T_off rule: after a
+// transmission of airtime T_a, the device must stay silent for
+//   T_off = T_a * (1/duty - 1).
+// US-915 has no duty cycle (it has dwell-time limits instead), so the
+// limiter is disabled by default in the scenarios.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace blam {
+
+class DutyCycleLimiter {
+ public:
+  /// `max_duty` in (0, 1]; 1.0 disables the wait entirely.
+  explicit DutyCycleLimiter(double max_duty);
+
+  /// Earliest instant a new transmission may start.
+  [[nodiscard]] Time next_allowed() const { return next_allowed_; }
+
+  [[nodiscard]] bool can_transmit(Time now) const { return now >= next_allowed_; }
+
+  /// Accounts a transmission [start, start+airtime) and arms T_off.
+  void record(Time start, Time airtime);
+
+  [[nodiscard]] double max_duty() const { return max_duty_; }
+
+ private:
+  double max_duty_;
+  Time next_allowed_{Time::zero()};
+};
+
+}  // namespace blam

@@ -1,0 +1,2 @@
+// Frames are plain data; this TU anchors the module in the library.
+#include "mac/frame.hpp"

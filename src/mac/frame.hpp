@@ -1,0 +1,57 @@
+// Frame definitions for uplink data and downlink ACKs, including the BLAM
+// protocol's piggy-backed fields: SoC transition points on uplinks (paper:
+// +4 bytes) and the normalized degradation on ACKs (paper: +1 byte). Byte
+// sizes feed the airtime model so protocol overhead costs real energy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/degradation_service.hpp"
+#include "mac/adr.hpp"
+
+namespace blam {
+
+struct UplinkFrame {
+  std::uint32_t node_id{0};
+  std::uint32_t seq{0};
+  /// 0-based transmission attempt (0 = first transmission).
+  int attempt{0};
+  Time generated_at{};
+  /// Forecast window the MAC chose for this packet.
+  int selected_window{0};
+  /// Application payload (paper: 10 bytes).
+  int app_payload_bytes{10};
+  /// SoC transition points since the last report (BLAM only; paper models
+  /// this as exactly two points = 4 bytes).
+  std::vector<SocSample> soc_report;
+  bool confirmed{true};
+
+  /// PHY payload size: application bytes plus 2 bytes per reported SoC
+  /// transition point (paper Sec. III-B: 2x2 bytes for t and psi).
+  [[nodiscard]] int total_bytes() const {
+    return app_payload_bytes + 2 * static_cast<int>(soc_report.size());
+  }
+};
+
+struct AckFrame {
+  std::uint32_t node_id{0};
+  std::uint32_t seq{0};
+  /// Present once per dissemination period (paper: daily), +1 byte.
+  bool has_degradation{false};
+  double normalized_degradation{0.0};
+  /// Optional LinkADRReq-style parameter adjustment (+4 bytes).
+  std::optional<AdrCommand> adr;
+  /// Optional network-manager theta update (+1 byte, adaptive-theta ext.).
+  std::optional<double> theta;
+
+  /// Empty LoRaWAN downlink frame body plus the optional degradation byte,
+  /// the optional ADR command and the optional theta update.
+  [[nodiscard]] int total_bytes() const {
+    return (has_degradation ? 1 : 0) + (adr.has_value() ? 4 : 0) + (theta.has_value() ? 1 : 0);
+  }
+};
+
+}  // namespace blam

@@ -1,0 +1,75 @@
+// Gateway downlink scheduling (ACK planner).
+//
+// A LoRa gateway has a single half-duplex transmit chain: while it sends an
+// ACK it cannot receive, and two ACKs cannot overlap. The planner keeps the
+// reservation ledger of the TX chain: given a successfully decoded uplink it
+// books the ACK into the device's RX1 slot (1 s after uplink end, same SF at
+// 500 kHz per US-915), falls back to RX2 (2 s, SF12 at 500 kHz) when RX1
+// collides with an existing reservation, and reports failure when both slots
+// are taken — the device will then retransmit. The ledger also answers "was
+// the gateway transmitting during [a, b)?", which destroys overlapping
+// uplink receptions (half-duplex loss, a major ALOHA bottleneck at scale).
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/units.hpp"
+#include "lora/airtime.hpp"
+#include "lora/channel_plan.hpp"
+#include "lora/params.hpp"
+
+namespace blam {
+
+struct AckPlan {
+  Time tx_start{};
+  Time tx_end{};
+  int channel{0};
+  SpreadingFactor sf{SpreadingFactor::kSF12};
+  double bandwidth_hz{500e3};
+  /// True if the ACK uses the RX2 slot.
+  bool rx2{false};
+};
+
+class AckPlanner {
+ public:
+  /// `rx1_bandwidth_hz`: downlink bandwidth for RX1 ACKs (500 kHz in US-915;
+  /// 125 kHz EU-style makes ACKs long and the half-duplex penalty real).
+  AckPlanner(const ClassATimings& timings, const ChannelPlan& plan, double downlink_tx_dbm = 27.0,
+             double rx1_bandwidth_hz = 500e3);
+
+  /// Books an ACK for an uplink that ended at `uplink_end` using SF
+  /// `uplink_sf` on `uplink_channel`; `ack_bytes` sets the airtime.
+  /// Returns nullopt when both RX slots conflict with reservations.
+  [[nodiscard]] std::optional<AckPlan> plan(Time uplink_end, SpreadingFactor uplink_sf,
+                                            int uplink_channel, int ack_bytes);
+
+  /// True if a booked transmission overlaps [start, end).
+  [[nodiscard]] bool overlaps_tx(Time start, Time end) const;
+
+  /// Drops reservations that ended before `now`.
+  void prune(Time now);
+
+  [[nodiscard]] double downlink_tx_dbm() const { return downlink_tx_dbm_; }
+  [[nodiscard]] std::size_t reservations() const { return reservations_.size(); }
+
+ private:
+  struct Interval {
+    Time start;
+    Time end;
+  };
+
+  [[nodiscard]] bool conflicts(Time start, Time end) const;
+  void reserve(Time start, Time end);
+
+  [[nodiscard]] TxParams ack_params(SpreadingFactor sf, double bandwidth_hz, int bytes) const;
+
+  ClassATimings timings_;
+  ChannelPlan plan_;
+  double downlink_tx_dbm_;
+  double rx1_bandwidth_hz_;
+  // Reservations kept sorted by start time.
+  std::deque<Interval> reservations_;
+};
+
+}  // namespace blam

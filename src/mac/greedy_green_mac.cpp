@@ -1,0 +1,21 @@
+#include "mac/greedy_green_mac.hpp"
+
+#include <algorithm>
+
+namespace blam {
+
+MacDecision GreedyGreenMac::select_window(const WindowContext& ctx) {
+  if (ctx.harvest_forecast.empty()) return MacDecision{true, 0};
+  // Most forecast harvest wins; earliest window breaks ties (so the policy
+  // degenerates to ALOHA at night, when every forecast is zero).
+  int best = 0;
+  for (int w = 1; w < static_cast<int>(ctx.harvest_forecast.size()); ++w) {
+    if (ctx.harvest_forecast[static_cast<std::size_t>(w)] >
+        ctx.harvest_forecast[static_cast<std::size_t>(best)]) {
+      best = w;
+    }
+  }
+  return MacDecision{true, best};
+}
+
+}  // namespace blam

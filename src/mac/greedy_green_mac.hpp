@@ -1,0 +1,29 @@
+// "Greedy green" baseline: an energy-aware but lifespan-OBLIVIOUS MAC.
+//
+// The paper's related work (network-lifetime maximization, e.g. [15], [20])
+// minimizes energy drawn from storage but ignores battery aging. This
+// policy captures that class: it always transmits in the forecast window
+// with the MOST forecast green energy, regardless of utility, degradation
+// weight or collision history, and never caps the battery (theta = 1).
+//
+// Expected behaviour (and why the paper's protocol beats it): every
+// greedy-green node converges on the same solar-noon windows, so collisions
+// concentrate; and with the battery kept full, calendar aging proceeds at
+// the uncapped rate — energy-awareness alone does not buy battery lifespan.
+#pragma once
+
+#include "mac/device_mac.hpp"
+
+namespace blam {
+
+class GreedyGreenMac final : public MacPolicy {
+ public:
+  [[nodiscard]] MacDecision select_window(const WindowContext& ctx) override;
+  [[nodiscard]] double soc_cap() const override { return 1.0; }
+  [[nodiscard]] bool needs_forecasts() const override { return true; }
+  /// Reports SoC so the gateway can still track degradation for metrics.
+  [[nodiscard]] bool reports_soc() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "GreedyGreen"; }
+};
+
+}  // namespace blam

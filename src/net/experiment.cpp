@@ -1,0 +1,56 @@
+#include "net/experiment.hpp"
+
+#include "net/network.hpp"
+
+namespace blam {
+
+ExperimentResult run_scenario(const ScenarioConfig& config, Time duration,
+                              std::shared_ptr<const SolarTrace> shared_trace) {
+  Network network{config, std::move(shared_trace)};
+  network.run_until(duration);
+  network.finalize_metrics();
+
+  ExperimentResult result;
+  result.label = config.policy_label();
+  result.summary = network.metrics().summarize();
+  result.gateway = network.metrics().gateway();
+  result.window_histogram = network.metrics().majority_window_histogram(network.max_windows());
+  result.nodes.reserve(network.metrics().node_count());
+  for (std::size_t i = 0; i < network.metrics().node_count(); ++i) {
+    result.nodes.push_back(network.metrics().node(i));
+  }
+  result.events_executed = network.simulator().events_executed();
+  return result;
+}
+
+LifespanResult run_until_eol(const ScenarioConfig& config, Time max_duration, Time step,
+                             std::shared_ptr<const SolarTrace> shared_trace) {
+  Network network{config, std::move(shared_trace)};
+  const double eol = config.degradation.eol_threshold;
+
+  LifespanResult result;
+  result.label = config.policy_label();
+  result.series_step = step;
+
+  Time now = Time::zero();
+  while (now < max_duration) {
+    now += step;
+    network.run_until(now);
+    const double max_deg = network.max_degradation();
+    result.max_degradation_series.push_back(max_deg);
+    if (max_deg >= eol) {
+      result.reached_eol = true;
+      result.lifespan = now;
+      return result;
+    }
+  }
+  result.lifespan = max_duration;
+  return result;
+}
+
+std::shared_ptr<const SolarTrace> build_shared_trace(const ScenarioConfig& config) {
+  Network probe{config};  // builds the sized trace without running
+  return probe.share_trace();
+}
+
+}  // namespace blam

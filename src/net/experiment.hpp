@@ -1,0 +1,52 @@
+// Experiment runners shared by the bench binaries and integration tests:
+// run a scenario for a fixed duration and collect the figure metrics, or run
+// until the first battery reaches end of life (Figs. 7-8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "energy/solar.hpp"
+#include "net/metrics.hpp"
+#include "net/scenario.hpp"
+
+namespace blam {
+
+struct ExperimentResult {
+  std::string label;
+  NetworkSummary summary;
+  GatewayMetrics gateway;
+  /// result[w] = nodes whose majority-selected window is w (Fig. 4).
+  std::vector<int> window_histogram;
+  /// Per-node records for distribution plots.
+  std::vector<NodeMetrics> nodes;
+  std::uint64_t events_executed{0};
+};
+
+/// Runs `config` for `duration` of simulated time. If `shared_trace` is
+/// non-null the scenario uses that weather instead of synthesizing its own
+/// (so protocol variants face identical conditions).
+[[nodiscard]] ExperimentResult run_scenario(const ScenarioConfig& config, Time duration,
+                                            std::shared_ptr<const SolarTrace> shared_trace = nullptr);
+
+struct LifespanResult {
+  std::string label;
+  /// Time of the first battery EoL, quantized to the sampling step.
+  Time lifespan{};
+  bool reached_eol{false};
+  /// Max degradation across the network at each sampling step (Fig. 7).
+  std::vector<double> max_degradation_series;
+  Time series_step{};
+};
+
+/// Runs `config` until the first node's battery degrades past the model's
+/// EoL threshold (or `max_duration`), sampling max degradation every `step`.
+[[nodiscard]] LifespanResult run_until_eol(const ScenarioConfig& config, Time max_duration,
+                                           Time step,
+                                           std::shared_ptr<const SolarTrace> shared_trace = nullptr);
+
+/// Builds (or reuses) the weather shared by a batch of compared scenarios.
+[[nodiscard]] std::shared_ptr<const SolarTrace> build_shared_trace(const ScenarioConfig& config);
+
+}  // namespace blam

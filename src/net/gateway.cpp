@@ -1,0 +1,131 @@
+#include "net/gateway.hpp"
+
+#include "lora/airtime.hpp"
+#include "mac/adr.hpp"
+#include "net/node.hpp"
+
+namespace blam {
+
+Gateway::Gateway(int id, Position position, Simulator& sim, NetworkServer& server,
+                 Metrics& metrics, const ChannelPlan& plan, const Config& config)
+    : id_{id},
+      position_{position},
+      sim_{sim},
+      server_{server},
+      metrics_{metrics},
+      plan_{plan},
+      config_{config},
+      ack_planner_{config.timings, plan, config.downlink_tx_dbm, config.rx1_bandwidth_hz} {}
+
+Time Gateway::max_ack_end_delay() const {
+  TxParams rx1;
+  rx1.sf = SpreadingFactor::kSF12;
+  rx1.bandwidth_hz = config_.rx1_bandwidth_hz;
+  rx1.payload_bytes = 1;  // degradation byte
+  rx1.tx_power_dbm = config_.downlink_tx_dbm;
+
+  TxParams rx2 = rx1;
+  rx2.sf = plan_.rx2_spreading_factor();
+  rx2.bandwidth_hz = plan_.rx2_bandwidth_hz();
+
+  return std::max(config_.timings.rx1_delay + time_on_air(rx1.with_auto_ldro()),
+                  config_.timings.rx2_delay + time_on_air(rx2.with_auto_ldro()));
+}
+
+void Gateway::on_uplink(Node& node, const UplinkFrame& frame, const TxParams& params, int channel,
+                        double rx_power_dbm) {
+  const Time now = sim_.now();
+  GatewayMetrics& gm = metrics_.gateway();
+  ++gm.arrivals;
+
+  AirPacket packet;
+  packet.id = next_packet_id_++;
+  packet.start = now;
+  packet.end = now + time_on_air(params);
+  packet.rx_power_dbm = rx_power_dbm;
+  packet.sf = params.sf;
+  packet.channel = channel;
+
+  // The packet radiates regardless of whether the gateway can lock onto it.
+  interference_.add(packet);
+  interference_.prune(now);
+  ack_planner_.prune(now - Time::from_seconds(10.0));
+
+  if (rx_power_dbm < gateway_sensitivity_dbm(params.sf)) {
+    ++gm.lost_under_sensitivity;
+    return;
+  }
+  if (ack_planner_.overlaps_tx(now, packet.end)) {
+    // Half-duplex: the gateway transmits (or will transmit) during this
+    // reception; it cannot lock.
+    ++gm.lost_half_duplex;
+    return;
+  }
+  if (busy_paths_ >= config_.demod_paths) {
+    ++gm.lost_no_demod_path;
+    return;
+  }
+
+  ++busy_paths_;
+  sim_.schedule_at(packet.end, [this, &node, frame, packet]() mutable {
+    finish_reception(node, std::move(frame), packet);
+  });
+}
+
+void Gateway::finish_reception(Node& node, UplinkFrame frame, AirPacket packet) {
+  GatewayMetrics& gm = metrics_.gateway();
+  --busy_paths_;
+
+  // An ACK booked after this reception started would have destroyed it.
+  if (ack_planner_.overlaps_tx(packet.start, packet.end)) {
+    ++gm.lost_half_duplex;
+    return;
+  }
+  if (!interference_.survives(packet)) {
+    ++gm.lost_interference;
+    return;
+  }
+  ++gm.received;
+
+  // The server aggregates copies of this frame across gateways and picks
+  // the downlink gateway (strongest copy).
+  server_.on_gateway_receive(*this, node, frame, packet);
+}
+
+void Gateway::inject_interference(AirPacket packet) {
+  packet.id = next_packet_id_++;
+  interference_.add(packet);
+  interference_.prune(sim_.now());
+}
+
+void Gateway::send_ack(Node& node, const UplinkFrame& frame, Time uplink_end, SpreadingFactor sf,
+                       int channel, std::optional<double> theta_update) {
+  GatewayMetrics& gm = metrics_.gateway();
+
+  AckFrame ack;
+  ack.node_id = frame.node_id;
+  ack.seq = frame.seq;
+  ack.has_degradation = server_.dissemination_ready();
+  ack.normalized_degradation = server_.w_for(frame.node_id);
+  ack.adr = server_.adr_advice(frame.node_id, node.radio_params());
+  ack.theta = theta_update;
+
+  const auto plan = ack_planner_.plan(uplink_end, sf, channel, ack.total_bytes());
+  if (!plan) {
+    ++gm.acks_unschedulable;
+    return;  // the device will retransmit
+  }
+
+  // Downlink link budget: does the ACK reach the device?
+  const double rx_at_device = config_.downlink_tx_dbm - node.link_loss_db(id_);
+  if (rx_at_device < device_sensitivity_dbm(plan->sf)) {
+    ++gm.acks_undecodable;
+    return;
+  }
+
+  ++gm.acks_sent;
+  if (plan->rx2) ++gm.acks_rx2;
+  sim_.schedule_at(plan->tx_end, [&node, ack, end = plan->tx_end] { node.receive_ack(ack, end); });
+}
+
+}  // namespace blam

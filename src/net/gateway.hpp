@@ -1,0 +1,89 @@
+// Gateway: SX1301-class receiver with 8 parallel demodulation paths, the
+// interference/capture model, half-duplex downlink, and ACK transmission.
+//
+// Reception pipeline for each uplink (mirroring NS-3 lorawan's
+// GatewayLoraPhy):
+//   arrival  -> sensitivity check, free demodulator check, not-transmitting
+//               check; the packet enters the interference tracker either way
+//               (an unlocked packet still jams others);
+//   end      -> capture/SIR evaluation against everything that overlapped,
+//               and a half-duplex check against the ACK ledger;
+//   success  -> report the reception to the network server. The server —
+//               which may hear the same frame through several gateways —
+//               picks the gateway with the strongest copy and calls
+//               send_ack() on it; that gateway books the ACK into RX1 (or
+//               RX2) and delivers it to the node if the downlink closes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/units.hpp"
+#include "lora/channel_plan.hpp"
+#include "lora/interference.hpp"
+#include "lora/link.hpp"
+#include "mac/frame.hpp"
+#include "mac/gateway_mac.hpp"
+#include "net/metrics.hpp"
+#include "net/network_server.hpp"
+#include "sim/simulator.hpp"
+
+namespace blam {
+
+class Node;
+
+class Gateway {
+ public:
+  struct Config {
+    int demod_paths{8};
+    ClassATimings timings{};
+    double downlink_tx_dbm{27.0};
+    /// RX1 downlink bandwidth (Hz).
+    double rx1_bandwidth_hz{125e3};
+  };
+
+  Gateway(int id, Position position, Simulator& sim, NetworkServer& server, Metrics& metrics,
+          const ChannelPlan& plan, const Config& config);
+
+  /// Called by a node at the instant its transmission starts.
+  /// `rx_power_dbm` is the power this uplink arrives with at THIS gateway.
+  void on_uplink(Node& node, const UplinkFrame& frame, const TxParams& params, int channel,
+                 double rx_power_dbm);
+
+  /// Injects a foreign (never-decoded) transmission into the interference
+  /// tracker: it can destroy receptions but is invisible otherwise.
+  void inject_interference(AirPacket packet);
+
+  /// Called by the network server after it has chosen this gateway as the
+  /// downlink for a decoded frame: builds the ACK (w_u, ADR), books the TX
+  /// chain, and delivers to the node if the link budget closes.
+  void send_ack(Node& node, const UplinkFrame& frame, Time uplink_end, SpreadingFactor sf,
+                int channel, std::optional<double> theta_update = std::nullopt);
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] Position position() const { return position_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] int busy_paths() const { return busy_paths_; }
+
+  /// Worst-case delay from uplink end to ACK airtime end, across the RX1
+  /// (slowest SF at the RX1 bandwidth) and RX2 options — nodes place their
+  /// ACK-timeout after this.
+  [[nodiscard]] Time max_ack_end_delay() const;
+
+ private:
+  void finish_reception(Node& node, UplinkFrame frame, AirPacket packet);
+
+  int id_;
+  Position position_;
+  Simulator& sim_;
+  NetworkServer& server_;
+  Metrics& metrics_;
+  ChannelPlan plan_;
+  Config config_;
+  InterferenceTracker interference_;
+  AckPlanner ack_planner_;
+  int busy_paths_{0};
+  std::uint64_t next_packet_id_{1};
+};
+
+}  // namespace blam

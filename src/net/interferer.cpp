@@ -1,0 +1,52 @@
+#include "net/interferer.hpp"
+
+#include <stdexcept>
+
+#include "lora/airtime.hpp"
+#include "net/gateway.hpp"
+
+namespace blam {
+
+ExternalInterferer::ExternalInterferer(Simulator& sim,
+                                       const std::vector<std::unique_ptr<Gateway>>& gateways,
+                                       const ChannelPlan& plan, const InterfererConfig& config,
+                                       Rng rng)
+    : sim_{sim}, gateways_{gateways}, plan_{plan}, config_{config}, rng_{rng} {
+  if (config.tx_per_hour < 0.0) {
+    throw std::invalid_argument{"ExternalInterferer: tx_per_hour must be >= 0"};
+  }
+  if (config.min_rx_dbm > config.max_rx_dbm) {
+    throw std::invalid_argument{"ExternalInterferer: invalid rx power range"};
+  }
+  if (config.tx_per_hour > 0.0) schedule_next();
+}
+
+void ExternalInterferer::schedule_next() {
+  const double mean_gap_s = 3600.0 / config_.tx_per_hour;
+  sim_.schedule_in(Time::from_seconds(rng_.exponential(mean_gap_s)), [this] {
+    inject();
+    schedule_next();
+  });
+}
+
+void ExternalInterferer::inject() {
+  TxParams params;
+  params.sf = sf_from_value(static_cast<int>(rng_.uniform_int(7, 12)));
+  params.payload_bytes = config_.payload_bytes;
+  params = params.with_auto_ldro();
+
+  AirPacket packet;
+  packet.start = sim_.now();
+  packet.end = packet.start + time_on_air(params);
+  packet.sf = params.sf;
+  packet.channel = plan_.random_uplink_channel(rng_);
+  // Each gateway hears the alien at an independent power (it sits at an
+  // unknown location).
+  for (const auto& gateway : gateways_) {
+    packet.rx_power_dbm = rng_.uniform(config_.min_rx_dbm, config_.max_rx_dbm);
+    gateway->inject_interference(packet);
+  }
+  ++injected_;
+}
+
+}  // namespace blam

@@ -1,0 +1,42 @@
+// External interference: alien LoRa traffic sharing the band.
+//
+// Real deployments share the ISM band with other networks the server cannot
+// coordinate with. This process injects Poisson-arriving foreign
+// transmissions (random channel, SF, received power) into every gateway's
+// interference tracker — they can destroy receptions but are never decoded.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "lora/channel_plan.hpp"
+#include "net/interferer_config.hpp"
+#include "sim/simulator.hpp"
+
+namespace blam {
+
+class Gateway;
+
+class ExternalInterferer {
+ public:
+  /// Starts the Poisson process; injects into every gateway in `gateways`.
+  /// The vector must outlive the interferer.
+  ExternalInterferer(Simulator& sim, const std::vector<std::unique_ptr<Gateway>>& gateways,
+                     const ChannelPlan& plan, const InterfererConfig& config, Rng rng);
+
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+
+ private:
+  void schedule_next();
+  void inject();
+
+  Simulator& sim_;
+  const std::vector<std::unique_ptr<Gateway>>& gateways_;
+  const ChannelPlan& plan_;
+  InterfererConfig config_;
+  Rng rng_;
+  std::uint64_t injected_{0};
+};
+
+}  // namespace blam

@@ -1,0 +1,18 @@
+// Configuration for the external-interference process (see interferer.hpp),
+// split out so ScenarioConfig can embed it without pulling in the
+// simulator-facing machinery.
+#pragma once
+
+namespace blam {
+
+struct InterfererConfig {
+  /// Mean foreign transmissions per hour across the band; 0 disables.
+  double tx_per_hour{0.0};
+  /// Received-power range at the gateways (dBm), uniform.
+  double min_rx_dbm{-135.0};
+  double max_rx_dbm{-95.0};
+  /// Foreign payload size (sets airtime).
+  int payload_bytes{20};
+};
+
+}  // namespace blam

@@ -1,0 +1,72 @@
+#include "net/metrics.hpp"
+
+#include <algorithm>
+
+namespace blam {
+
+int NodeMetrics::majority_window() const {
+  if (window_counts.empty()) return -1;
+  const auto it = std::max_element(window_counts.begin(), window_counts.end());
+  if (*it == 0) return -1;
+  return static_cast<int>(it - window_counts.begin());
+}
+
+void NodeMetrics::count_window(int window) {
+  if (window < 0) return;
+  if (static_cast<std::size_t>(window) >= window_counts.size()) {
+    window_counts.resize(static_cast<std::size_t>(window) + 1, 0);
+  }
+  ++window_counts[static_cast<std::size_t>(window)];
+}
+
+Metrics::Metrics(std::size_t n_nodes) : nodes_(n_nodes) {}
+
+NetworkSummary Metrics::summarize() const {
+  NetworkSummary s;
+  if (nodes_.empty()) return s;
+  std::vector<double> prr;
+  std::vector<double> utility;
+  std::vector<double> latency;
+  std::vector<double> degradation;
+  double retx_sum = 0.0;
+  double latency_max = 0.0;
+  RunningStats delivered_latency;
+  for (const NodeMetrics& n : nodes_) {
+    prr.push_back(n.prr());
+    utility.push_back(n.avg_utility());
+    latency.push_back(n.latency_s.mean());
+    degradation.push_back(n.degradation);
+    retx_sum += n.avg_retx();
+    latency_max = std::max(latency_max, n.latency_s.max());
+    delivered_latency.merge(n.delivered_latency_s);
+    s.total_tx_energy += n.tx_energy;
+  }
+  s.mean_delivered_latency_s = delivered_latency.mean();
+  s.max_delivered_latency_s = delivered_latency.max();
+  const auto count = static_cast<double>(nodes_.size());
+  s.prr_box = summarize_box(prr);
+  s.utility_box = summarize_box(utility);
+  s.latency_box = summarize_box(latency);
+  s.degradation_box = summarize_box(degradation);
+  s.mean_prr = s.prr_box.mean;
+  s.min_prr = s.prr_box.min;
+  s.mean_utility = s.utility_box.mean;
+  s.mean_latency_s = s.latency_box.mean;
+  s.max_latency_s = latency_max;
+  s.mean_retx = retx_sum / count;
+  s.max_degradation = s.degradation_box.max;
+  return s;
+}
+
+std::vector<int> Metrics::majority_window_histogram(int n_windows) const {
+  std::vector<int> histogram(static_cast<std::size_t>(std::max(n_windows, 1)), 0);
+  for (const NodeMetrics& n : nodes_) {
+    const int w = n.majority_window();
+    if (w < 0) continue;
+    const auto idx = std::min(static_cast<std::size_t>(w), histogram.size() - 1);
+    ++histogram[idx];
+  }
+  return histogram;
+}
+
+}  // namespace blam

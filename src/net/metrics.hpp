@@ -1,0 +1,124 @@
+// Metrics collection, matching the quantities the paper reports in
+// Sec. IV-A.2: avg retransmissions per packet, total TX energy, battery
+// degradation, packet reception rate, avg utility per packet, and avg
+// latency (with failed packets penalized by one sampling period).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace blam {
+
+struct NodeMetrics {
+  std::uint64_t generated{0};
+  /// Packets whose ACK arrived.
+  std::uint64_t delivered{0};
+  /// Packets that exhausted all transmissions without an ACK.
+  std::uint64_t exhausted{0};
+  /// Packets dropped by the policy (Algorithm 1 FAIL).
+  std::uint64_t policy_drops{0};
+  /// Packets abandoned because the battery + harvest could not fund a
+  /// transmission at the scheduled time.
+  std::uint64_t brownouts{0};
+  /// Attempts deferred by the regulatory duty-cycle limiter.
+  std::uint64_t duty_defers{0};
+  /// Transmissions on air (first attempts + retransmissions).
+  std::uint64_t tx_attempts{0};
+  /// Retransmissions only.
+  std::uint64_t retx{0};
+  /// Radio TX energy across the run (paper Fig. 5b).
+  Energy tx_energy{};
+  /// Sum of per-packet utility over *generated* packets (failures count 0).
+  double utility_sum{0.0};
+  /// Per-packet latency in seconds; failures penalized with the period
+  /// (the paper's metric).
+  RunningStats latency_s;
+  /// Latency of delivered packets only (generation to ACK reception).
+  RunningStats delivered_latency_s;
+  /// counts[w] = packets whose chosen forecast window was w.
+  std::vector<std::uint32_t> window_counts;
+
+  // Filled in by the network when a report is taken:
+  double degradation{0.0};
+  double cycle_linear{0.0};
+  double calendar_linear{0.0};
+  double mean_soc{0.0};
+  double final_soc{0.0};
+
+  [[nodiscard]] double prr() const {
+    return generated > 0 ? static_cast<double>(delivered) / static_cast<double>(generated) : 0.0;
+  }
+  [[nodiscard]] double avg_utility() const {
+    return generated > 0 ? utility_sum / static_cast<double>(generated) : 0.0;
+  }
+  /// Retransmissions per generated packet (paper Fig. 5a's "Avg RETX").
+  [[nodiscard]] double avg_retx() const {
+    return generated > 0 ? static_cast<double>(retx) / static_cast<double>(generated) : 0.0;
+  }
+  /// Forecast window this node used for the majority of its packets
+  /// (paper Fig. 4); -1 if it never transmitted.
+  [[nodiscard]] int majority_window() const;
+
+  void count_window(int window);
+};
+
+struct GatewayMetrics {
+  std::uint64_t arrivals{0};
+  std::uint64_t received{0};
+  std::uint64_t lost_interference{0};
+  std::uint64_t lost_half_duplex{0};
+  std::uint64_t lost_no_demod_path{0};
+  std::uint64_t lost_under_sensitivity{0};
+  std::uint64_t acks_sent{0};
+  std::uint64_t acks_rx2{0};
+  std::uint64_t acks_unschedulable{0};
+  std::uint64_t acks_undecodable{0};
+  /// Duplicate application packets (retransmission decoded after the
+  /// original already made it through — its ACK was lost). Subset of
+  /// `received`; duplicates are re-acknowledged.
+  std::uint64_t duplicates{0};
+};
+
+/// Aggregated view over all nodes, used to print figure rows.
+struct NetworkSummary {
+  double mean_prr{0.0};
+  double min_prr{0.0};
+  double mean_utility{0.0};
+  double mean_latency_s{0.0};
+  double max_latency_s{0.0};
+  double mean_delivered_latency_s{0.0};
+  double max_delivered_latency_s{0.0};
+  double mean_retx{0.0};
+  Energy total_tx_energy{};
+  BoxSummary degradation_box{};
+  BoxSummary prr_box{};
+  BoxSummary utility_box{};
+  BoxSummary latency_box{};
+  double max_degradation{0.0};
+};
+
+class Metrics {
+ public:
+  explicit Metrics(std::size_t n_nodes);
+
+  [[nodiscard]] NodeMetrics& node(std::size_t id) { return nodes_.at(id); }
+  [[nodiscard]] const NodeMetrics& node(std::size_t id) const { return nodes_.at(id); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] GatewayMetrics& gateway() { return gateway_; }
+  [[nodiscard]] const GatewayMetrics& gateway() const { return gateway_; }
+
+  [[nodiscard]] NetworkSummary summarize() const;
+
+  /// Histogram over majority-selected forecast windows (paper Fig. 4):
+  /// result[w] = number of nodes whose majority window is w.
+  [[nodiscard]] std::vector<int> majority_window_histogram(int n_windows) const;
+
+ private:
+  std::vector<NodeMetrics> nodes_;
+  GatewayMetrics gateway_;
+};
+
+}  // namespace blam

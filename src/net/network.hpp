@@ -1,0 +1,79 @@
+// Network: composes the simulator, solar trace, gateway, network server and
+// all nodes from a ScenarioConfig, runs the simulation, and exposes the
+// metrics the figures need.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "energy/solar.hpp"
+#include "energy/thermal.hpp"
+#include "lora/channel_plan.hpp"
+#include "net/gateway.hpp"
+#include "net/metrics.hpp"
+#include "net/interferer.hpp"
+#include "net/network_server.hpp"
+#include "net/packet_log.hpp"
+#include "net/node.hpp"
+#include "net/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace blam {
+
+class Network {
+ public:
+  explicit Network(const ScenarioConfig& config);
+
+  /// Optionally reuse a pre-built trace (several scenarios share the same
+  /// year of weather, e.g. the LoRaWAN/H-50 comparisons).
+  Network(const ScenarioConfig& config, std::shared_ptr<const SolarTrace> trace);
+
+  /// Advances the simulation to `until` (absolute simulation time).
+  void run_until(Time until);
+
+  /// Ground-truth maximum degradation across nodes right now.
+  [[nodiscard]] double max_degradation() const;
+
+  /// Copies per-node degradation ground truth into the metrics records.
+  void finalize_metrics();
+
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] const Simulator& simulator() const { return sim_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  [[nodiscard]] const SolarTrace& solar_trace() const { return *trace_; }
+  [[nodiscard]] std::shared_ptr<const SolarTrace> share_trace() const { return trace_; }
+  [[nodiscard]] const NetworkServer& server() const { return *server_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Gateway>>& gateways() const {
+    return gateways_;
+  }
+  /// Non-null only when ScenarioConfig::packet_log is set.
+  [[nodiscard]] const PacketLog* packet_log() const { return packet_log_.get(); }
+  [[nodiscard]] Energy worst_case_attempt_energy() const { return worst_attempt_energy_; }
+
+  /// Maximum forecast-window count across nodes (Fig. 4 histogram width).
+  [[nodiscard]] int max_windows() const;
+
+ private:
+  void build(std::shared_ptr<const SolarTrace> trace);
+
+  ScenarioConfig config_;
+  Simulator sim_;
+  ChannelPlan plan_;
+  DegradationModel model_;
+  std::unique_ptr<TemperatureModel> thermal_;
+  Metrics metrics_;
+  std::shared_ptr<const SolarTrace> trace_;
+  std::unique_ptr<UtilityFunction> utility_;
+  std::unique_ptr<NetworkServer> server_;
+  std::vector<std::unique_ptr<Gateway>> gateways_;
+  std::unique_ptr<ExternalInterferer> interferer_;
+  std::unique_ptr<PacketLog> packet_log_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  Energy worst_attempt_energy_{};
+};
+
+}  // namespace blam

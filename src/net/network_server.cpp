@@ -1,0 +1,115 @@
+#include "net/network_server.hpp"
+
+#include "mac/adr.hpp"
+#include "net/gateway.hpp"
+#include "net/node.hpp"
+
+namespace blam {
+
+NetworkServer::NetworkServer(Simulator& sim, const DegradationModel& model, double temperature_c,
+                             Time dissemination_period)
+    : sim_{sim}, service_{model, temperature_c} {
+  recompute_process_ = std::make_unique<PeriodicProcess>(
+      sim, dissemination_period, dissemination_period, [this] { recompute(); });
+}
+
+void NetworkServer::enable_adr(const AdrController::Config& config) {
+  adr_.emplace(config);
+}
+
+void NetworkServer::enable_adaptive_theta(const ThetaController::Config& config) {
+  theta_.emplace(config);
+}
+
+void NetworkServer::observe_snr(std::uint32_t node_id, double snr_db) {
+  if (adr_.has_value()) adr_->observe(node_id, snr_db);
+}
+
+std::optional<AdrCommand> NetworkServer::adr_advice(std::uint32_t node_id,
+                                                    const AdrCommand& current) const {
+  if (!adr_.has_value()) return std::nullopt;
+  return adr_->advise(node_id, current);
+}
+
+void NetworkServer::register_node(std::uint32_t node_id) { service_.register_node(node_id); }
+
+void NetworkServer::on_gateway_receive(Gateway& gateway, Node& node, const UplinkFrame& frame,
+                                       const AirPacket& packet) {
+  const std::uint64_t key = frame_key(frame);
+  auto [it, inserted] = pending_.try_emplace(key);
+  PendingFrame& pending = it->second;
+  if (inserted || packet.rx_power_dbm > pending.best_rx_dbm) {
+    pending.gateway = &gateway;
+    pending.node = &node;
+    pending.frame = frame;
+    pending.best_rx_dbm = packet.rx_power_dbm;
+    pending.uplink_end = packet.end;
+    pending.sf = packet.sf;
+    pending.channel = packet.channel;
+  }
+  if (inserted) {
+    // All copies end at the same instant (same airtime); 1 ms collects them
+    // all while staying far inside the RX1 delay.
+    sim_.schedule_in(Time::from_ms(1), [this, key] { decide(key); });
+  }
+}
+
+void NetworkServer::decide(std::uint64_t key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  PendingFrame pending = std::move(it->second);
+  pending_.erase(it);
+
+  observe_snr(pending.frame.node_id, pending.best_rx_dbm - noise_floor_dbm(125e3));
+  std::optional<double> theta_update;
+  if (theta_.has_value()) {
+    theta_update = theta_->on_delivery(pending.frame.node_id, pending.frame.seq);
+  }
+  if (!on_uplink(pending.frame)) {
+    // Duplicate of an already-delivered packet: the device retransmitted
+    // because its ACK was lost or unschedulable. The SoC report is ignored,
+    // but the frame must still be acknowledged or the device will burn its
+    // whole retransmission budget.
+    if (metrics_ != nullptr) ++metrics_->gateway().duplicates;
+  }
+  if (!pending.frame.confirmed) {
+    // Fire-and-forget uplink: no radio ACK. Deliver a synthetic,
+    // bookkeeping-only confirmation so the node's metrics resolve; it
+    // carries no w_u (there is no downlink to piggyback on).
+    AckFrame note;
+    note.node_id = pending.frame.node_id;
+    note.seq = pending.frame.seq;
+    Node* node = pending.node;
+    const Time at = pending.uplink_end;
+    node->receive_ack(note, at);
+    return;
+  }
+  pending.gateway->send_ack(*pending.node, pending.frame, pending.uplink_end, pending.sf,
+                            pending.channel, theta_update);
+}
+
+bool NetworkServer::on_uplink(const UplinkFrame& frame) {
+  auto [it, inserted] = last_seq_.try_emplace(frame.node_id, frame.seq);
+  if (!inserted) {
+    // Sequence numbers increase monotonically per node; an equal or older
+    // one is a duplicate (late retransmission).
+    if (frame.seq <= it->second) return false;
+    it->second = frame.seq;
+  }
+  if (!frame.soc_report.empty()) {
+    service_.ingest(frame.node_id, frame.soc_report);
+  }
+  return true;
+}
+
+double NetworkServer::w_for(std::uint32_t node_id) const {
+  if (recomputes_ == 0) return 0.0;
+  return service_.normalized_degradation(node_id);
+}
+
+void NetworkServer::recompute() {
+  service_.recompute(sim_.now());
+  ++recomputes_;
+}
+
+}  // namespace blam

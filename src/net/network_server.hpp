@@ -1,0 +1,106 @@
+// Network server: application-level endpoint behind the gateway(s).
+//
+// Responsibilities (paper Sec. III-B): aggregate copies of each uplink
+// heard by multiple gateways and choose the strongest as the downlink path,
+// deduplicate uplinks (retransmissions share a sequence number), feed
+// reported SoC transition points into the DegradationService, recompute
+// every node's normalized degradation w_u once per dissemination period,
+// and answer "what w_u / ADR command should this ACK carry?".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/units.hpp"
+#include "core/degradation_service.hpp"
+#include "core/theta_controller.hpp"
+#include "lora/interference.hpp"
+#include "mac/adr.hpp"
+#include "mac/frame.hpp"
+#include "net/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace blam {
+
+class Gateway;
+class Node;
+
+class NetworkServer {
+ public:
+  NetworkServer(Simulator& sim, const DegradationModel& model, double temperature_c,
+                Time dissemination_period);
+
+  /// Enables server-side ADR (disabled unless called).
+  void enable_adr(const AdrController::Config& config);
+
+  /// Enables the adaptive-theta network manager (disabled unless called).
+  void enable_adaptive_theta(const ThetaController::Config& config);
+
+  /// Attaches the metrics sink (duplicate counting).
+  void attach_metrics(Metrics& metrics) { metrics_ = &metrics; }
+
+  void register_node(std::uint32_t node_id);
+
+  /// A gateway decoded one copy of an uplink. Copies of the same frame from
+  /// several gateways end simultaneously; the server collects them for a
+  /// millisecond, then processes the frame once and ACKs through the
+  /// gateway that heard it best.
+  void on_gateway_receive(Gateway& gateway, Node& node, const UplinkFrame& frame,
+                          const AirPacket& packet);
+
+  /// Handles a decoded uplink (dedup + SoC ingestion). Returns false if
+  /// this (node, seq) was already delivered. Exposed for tests; the normal
+  /// path goes through on_gateway_receive.
+  bool on_uplink(const UplinkFrame& frame);
+
+  /// Latest normalized degradation for the node (0 before any recompute).
+  [[nodiscard]] double w_for(std::uint32_t node_id) const;
+
+  /// Records a decoded uplink's SNR (no-op with ADR disabled).
+  void observe_snr(std::uint32_t node_id, double snr_db);
+
+  /// ADR advice for the node given its current parameters; nullopt when ADR
+  /// is disabled, history is short, or nothing would change.
+  [[nodiscard]] std::optional<AdrCommand> adr_advice(std::uint32_t node_id,
+                                                     const AdrCommand& current) const;
+
+  /// Whether at least one recompute has run (ACKs carry w_u only then).
+  [[nodiscard]] bool dissemination_ready() const { return recomputes_ > 0; }
+
+  [[nodiscard]] const DegradationService& service() const { return service_; }
+  [[nodiscard]] DegradationService& service() { return service_; }
+
+ private:
+  struct PendingFrame {
+    Gateway* gateway{nullptr};
+    Node* node{nullptr};
+    UplinkFrame frame;
+    double best_rx_dbm{0.0};
+    Time uplink_end{};
+    SpreadingFactor sf{SpreadingFactor::kSF10};
+    int channel{0};
+  };
+
+  void recompute();
+  void decide(std::uint64_t key);
+
+  [[nodiscard]] static std::uint64_t frame_key(const UplinkFrame& frame) {
+    return (static_cast<std::uint64_t>(frame.node_id) << 40) |
+           (static_cast<std::uint64_t>(frame.attempt & 0xff) << 32) |
+           static_cast<std::uint64_t>(frame.seq);
+  }
+
+  Simulator& sim_;
+  DegradationService service_;
+  std::optional<AdrController> adr_;
+  std::optional<ThetaController> theta_;
+  Metrics* metrics_{nullptr};
+  std::unordered_map<std::uint32_t, std::uint32_t> last_seq_;
+  std::unordered_map<std::uint64_t, PendingFrame> pending_;
+  std::unique_ptr<PeriodicProcess> recompute_process_;
+  std::uint64_t recomputes_{0};
+};
+
+}  // namespace blam

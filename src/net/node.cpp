@@ -1,0 +1,370 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "net/gateway.hpp"
+
+namespace blam {
+
+Node::Node(const Init& init, const ScenarioConfig& config, Simulator& sim,
+           const std::vector<std::unique_ptr<Gateway>>& gateways, const ChannelPlan& plan,
+           const SolarTrace& trace, const DegradationModel& model,
+           const TemperatureModel& thermal, const UtilityFunction& utility, NodeMetrics& metrics,
+           Rng rng)
+    : id_{init.id},
+      position_{init.position},
+      period_{init.period},
+      n_windows_{config.windows_for(init.period)},
+      link_losses_db_{init.link_losses_db},
+      min_link_loss_db_{*std::min_element(init.link_losses_db.begin(), init.link_losses_db.end())},
+      config_{&config},
+      sim_{&sim},
+      gateways_{&gateways},
+      plan_{&plan},
+      thermal_{&thermal},
+      utility_{&utility},
+      metrics_{&metrics},
+      battery_{init.battery_capacity, std::min(config.initial_soc, config.theta)},
+      harvester_{trace, init.panel_scale},
+      switch_{battery_, 1.0},  // the policy's theta is installed below
+      tracker_{model, config.temperature_c},
+      forecaster_{harvester_, config.forecast_error_sigma, rng.fork(0x5eca57)},
+      etx_ewma_{config.ewma_beta},
+      retx_estimator_{static_cast<std::size_t>(n_windows_), config.timings.max_transmissions - 1},
+      policy_{make_policy(config)},
+      duty_cycle_{config.duty_cycle},
+      rng_{rng} {
+  tx_params_.sf = init.sf;
+  tx_params_.bandwidth_hz = 125e3;
+  tx_params_.payload_bytes = config.payload_bytes;
+  tx_params_.tx_power_dbm = config.tx_power_dbm;
+  tx_params_ = tx_params_.with_auto_ldro();
+  switch_.set_soc_cap(policy_->soc_cap());
+  single_attempt_energy_ = attempt_demand(tx_params_);
+  if (config.supercap_tx_buffer > 0.0) {
+    supercap_.emplace(single_attempt_energy_ * config.supercap_tx_buffer,
+                      config.supercap_efficiency, config.supercap_leak_per_day);
+    switch_.attach_supercap(&*supercap_);
+  }
+  // DIF normalizer (paper's E_tx_max): the worst case a packet can cost is
+  // the full retransmission budget. Normalizing by a single attempt would
+  // saturate DIF at 1 whenever any retransmissions are expected, erasing
+  // the per-window discrimination Algorithm 1 relies on.
+  max_packet_energy_ = single_attempt_energy_ * config.timings.max_transmissions;
+  harvester_.resample_jitter(rng_, config.cloud_jitter_spread);
+  metrics_->window_counts.assign(static_cast<std::size_t>(n_windows_), 0);
+}
+
+void Node::start() {
+  record_soc(Time::zero());
+  sim_->schedule_at(Time::zero(), [this] { on_period_start(); });
+}
+
+Energy Node::attempt_demand(const TxParams& params) const {
+  if (!config_->confirmed) return tx_energy(params, config_->radio);  // no RX windows
+  const Energy listen =
+      config_->radio.rx_power() * (config_->timings.rx_window_duration * std::int64_t{2});
+  return tx_energy(params, config_->radio) + listen;
+}
+
+Time Node::attempt_span(const TxParams& params) const {
+  if (!config_->confirmed) return time_on_air(params);
+  return time_on_air(params) + config_->timings.rx2_delay + config_->timings.rx_window_duration;
+}
+
+void Node::account_to(Time now) {
+  if (now <= last_account_) return;
+  const Time dt = now - last_account_;
+  if (supercap_.has_value()) supercap_->leak(dt);
+  if (config_->battery_self_discharge_per_month > 0.0) {
+    const double retention =
+        std::pow(1.0 - config_->battery_self_discharge_per_month, dt.days() / 30.44);
+    battery_.discharge(battery_.stored() * (1.0 - retention));
+  }
+  const Energy harvest = harvester_.energy_between(last_account_, now);
+  const Energy demand = config_->radio.sleep_power() * dt;
+  switch_.apply(harvest, demand);
+  last_account_ = now;
+}
+
+void Node::log_event(PacketEventKind kind, int attempt) {
+  if (packet_log_ == nullptr) return;
+  PacketEvent event;
+  event.at = sim_->now();
+  event.node = id_;
+  event.seq = pending_.seq;
+  event.attempt = attempt;
+  event.window = pending_.window;
+  event.kind = kind;
+  packet_log_->record(event);
+}
+
+void Node::record_soc(Time t) {
+  const double soc = battery_.soc();
+  tracker_.record(t, soc);
+  latest_sample_ = SocSample{t, soc};
+  if (!has_samples_) {
+    period_start_sample_ = latest_sample_;
+    has_samples_ = true;
+  }
+}
+
+void Node::update_capacity_fade(Time now) {
+  if (now - last_fade_update_ < Time::from_days(1.0)) return;
+  battery_.set_degradation(tracker_.degradation(now));
+  last_fade_update_ = now;
+}
+
+void Node::on_period_start() {
+  const Time now = sim_->now();
+  Time next = period_;
+  if (config_->period_jitter > 0.0) {
+    next = next * (1.0 + rng_.uniform(-config_->period_jitter, config_->period_jitter));
+  }
+  sim_->schedule_at(now + next, [this] { on_period_start(); });
+
+  account_to(now);
+  // A previous packet's attempt may have pre-accounted energy past this
+  // boundary (its RX windows straddle it); the battery state is then only
+  // known at last_account_, so sample there, never before.
+  const Time sample_at = std::max(now, last_account_);
+  if (!thermal_->config().insulated) {
+    tracker_.set_temperature(sample_at, thermal_->at(now));
+  }
+  update_capacity_fade(now);
+  harvester_.resample_jitter(rng_, config_->cloud_jitter_spread);
+  record_soc(sample_at);
+  period_start_sample_ = latest_sample_;
+
+  if (pending_.active) {
+    // The previous packet's ladder spilled past the period boundary
+    // (possible when a late window plus the full retransmission ladder
+    // crosses it): fail the old packet and kill its scheduled events.
+    ++metrics_->exhausted;
+    log_event(PacketEventKind::kExhausted, pending_.transmissions - 1);
+    abort_packet(/*record_history=*/true);
+  }
+
+  ++metrics_->generated;
+  const Time window = config_->forecast_window;
+
+  WindowContext ctx;
+  ctx.n_windows = n_windows_;
+  ctx.window_length = window;
+  ctx.period_start = now;
+  ctx.battery = battery_.stored();
+  ctx.battery_capacity = battery_.original_capacity();
+  ctx.w_u = w_u_;
+  ctx.w_b = config_->w_b;
+  ctx.max_tx = max_packet_energy_;
+  ctx.utility = utility_;
+  if (policy_->needs_forecasts()) {
+    harvest_scratch_.clear();
+    cost_scratch_.clear();
+    const double base_estimate = etx_ewma_.value_or(single_attempt_energy_.joules());
+    for (int w = 0; w < n_windows_; ++w) {
+      harvest_scratch_.push_back(forecaster_.forecast_one(now + window * std::int64_t{w},
+                                                          now + window * std::int64_t{w + 1}));
+      cost_scratch_.push_back(Energy::from_joules(
+          base_estimate * retx_estimator_.expected_transmissions(static_cast<std::size_t>(w))));
+    }
+    ctx.harvest_forecast = harvest_scratch_;
+    ctx.tx_cost = cost_scratch_;
+  }
+
+  const MacDecision decision = policy_->select_window(ctx);
+  if (!decision.transmit) {
+    ++metrics_->policy_drops;
+    metrics_->latency_s.add(period_.seconds());
+    pending_ = Pending{};
+    pending_.seq = next_seq_++;
+    log_event(PacketEventKind::kGenerated);
+    log_event(PacketEventKind::kPolicyDrop);
+    return;
+  }
+
+  pending_ = Pending{};
+  pending_.active = true;
+  pending_.seq = next_seq_++;
+  pending_.generated_at = now;
+  pending_.window = decision.window;
+  metrics_->count_window(decision.window);
+  log_event(PacketEventKind::kGenerated);
+
+  // Transmission time inside the window: LoRaWAN sends immediately (pure
+  // ALOHA); the proposed MAC randomizes within the window to decluster
+  // (paper Sec. III-B, "Network dynamics and channel access").
+  Time offset = Time::zero();
+  if (policy_->needs_forecasts()) {
+    // Slack accounts for the frame as actually sent (SoC report included).
+    TxParams worst = tx_params_;
+    worst.payload_bytes = config_->payload_bytes + 4;
+    const Time slack = window - attempt_span(worst);
+    if (slack > Time::zero()) {
+      offset = Time::from_us(rng_.uniform_int(0, slack.us()));
+    }
+  }
+  const Time tx_at = now + window * std::int64_t{decision.window} + offset;
+  sim_->schedule_at(tx_at, [this] { start_attempt(); });
+}
+
+UplinkFrame Node::build_frame() {
+  UplinkFrame frame;
+  frame.node_id = id_;
+  frame.seq = pending_.seq;
+  frame.attempt = pending_.transmissions;
+  frame.generated_at = pending_.generated_at;
+  frame.selected_window = pending_.window;
+  frame.app_payload_bytes = config_->payload_bytes;
+  frame.confirmed = config_->confirmed;
+  if (policy_->reports_soc() && has_samples_) {
+    frame.soc_report.push_back(period_start_sample_);
+    if (latest_sample_.t > period_start_sample_.t) frame.soc_report.push_back(latest_sample_);
+  }
+  return frame;
+}
+
+void Node::start_attempt() {
+  if (!pending_.active) return;  // packet resolved while this event was in flight
+  pending_.retx = EventHandle{};
+  const Time now = sim_->now();
+
+  // Regulatory duty cycle: defer the attempt until T_off expires. If the
+  // silence extends past the sampling period, the packet is lost to the
+  // regulator (counted as a duty defer + exhausted).
+  if (!duty_cycle_.can_transmit(now)) {
+    ++metrics_->duty_defers;
+    log_event(PacketEventKind::kDutyDefer, pending_.transmissions);
+    if (duty_cycle_.next_allowed() >= pending_.generated_at + period_) {
+      ++metrics_->exhausted;
+      log_event(PacketEventKind::kExhausted, pending_.transmissions - 1);
+      abort_packet(/*record_history=*/false);
+      return;
+    }
+    pending_.retx = sim_->schedule_at(duty_cycle_.next_allowed(), [this] { start_attempt(); });
+    return;
+  }
+  account_to(now);
+
+  UplinkFrame frame = build_frame();
+  TxParams params = tx_params_;
+  params.payload_bytes = frame.total_bytes();
+
+  const Energy demand = attempt_demand(params);
+  const Time span = attempt_span(params);
+  const Energy harvest = harvester_.energy_between(now, now + span);
+  const PowerFlow flow = switch_.apply(harvest, demand);
+  last_account_ = now + span;
+  record_soc(last_account_);
+
+  if (flow.brownout()) {
+    // The radio browned out mid-attempt: the energy is gone and the packet
+    // is lost. Algorithm 1 makes this rare; LoRaWAN hits it at night.
+    ++metrics_->brownouts;
+    log_event(PacketEventKind::kBrownout, pending_.transmissions);
+    abort_packet(/*record_history=*/false);
+    return;
+  }
+
+  ++pending_.transmissions;
+  ++metrics_->tx_attempts;
+  if (pending_.transmissions > 1) ++metrics_->retx;
+  log_event(PacketEventKind::kTxStart, pending_.transmissions - 1);
+  duty_cycle_.record(now, time_on_air(params));
+  const Energy radiated = tx_energy(params, config_->radio);
+  metrics_->tx_energy += radiated;
+  pending_.spent += radiated;
+
+  // Every gateway hears the transmission at its own receive power; with
+  // fast fading enabled each copy gets an independent Rayleigh power fade
+  // (10*log10 of a unit-mean exponential).
+  const int channel = plan_->random_uplink_channel(rng_);
+  for (const auto& gateway : *gateways_) {
+    double rx_dbm =
+        tx_params_.tx_power_dbm - link_losses_db_[static_cast<std::size_t>(gateway->id())];
+    if (config_->fast_fading) {
+      rx_dbm += 10.0 * std::log10(rng_.exponential(1.0));
+    }
+    gateway->on_uplink(*this, frame, params, channel, rx_dbm);
+  }
+
+  // Confirmed: wait out the ACK deadline. Unconfirmed: fire-and-forget —
+  // the server's delivery notification (5 ms after airtime end) either
+  // resolves the packet or the timeout counts it lost.
+  const Time timeout_at =
+      config_->confirmed
+          ? now + time_on_air(params) + (*gateways_)[0]->max_ack_end_delay() + Time::from_ms(50)
+          : now + time_on_air(params) + Time::from_ms(5);
+  pending_.timeout = sim_->schedule_at(timeout_at, [this] { on_ack_timeout(); });
+}
+
+void Node::on_ack_timeout() {
+  assert(pending_.active);
+  pending_.timeout = EventHandle{};
+  if (!config_->confirmed || pending_.transmissions >= config_->timings.max_transmissions) {
+    ++metrics_->exhausted;
+    log_event(PacketEventKind::kExhausted, pending_.transmissions - 1);
+    abort_packet(/*record_history=*/true);
+    return;
+  }
+  const Time backoff = Time::from_us(
+      rng_.uniform_int(config_->retx_backoff_min.us(), config_->retx_backoff_max.us()));
+  pending_.retx = sim_->schedule_in(backoff, [this] { start_attempt(); });
+}
+
+void Node::receive_ack(const AckFrame& ack, Time ack_end) {
+  if (!pending_.active || ack.seq != pending_.seq) return;  // stale duplicate
+  sim_->cancel(pending_.timeout);
+  sim_->cancel(pending_.retx);  // an ACK can arrive after a timeout already armed a retry
+
+  ++metrics_->delivered;
+  log_event(PacketEventKind::kDelivered, pending_.transmissions - 1);
+  const double latency = (ack_end - pending_.generated_at).seconds();
+  metrics_->latency_s.add(latency);
+  metrics_->delivered_latency_s.add(latency);
+  metrics_->utility_sum += utility_->value(pending_.window, n_windows_);
+  retx_estimator_.record(static_cast<std::size_t>(pending_.window), pending_.transmissions - 1);
+  // EWMA tracks PER-TRANSMISSION energy; the per-window cost estimate then
+  // scales it by the expected transmission count (Eq. 14), so tracking the
+  // whole packet's energy here would double-count retransmissions.
+  etx_ewma_.observe(pending_.spent.joules() / pending_.transmissions);
+  if (ack.has_degradation) w_u_ = ack.normalized_degradation;
+  if (ack.adr.has_value()) apply_adr(*ack.adr);
+  if (ack.theta.has_value()) {
+    policy_->set_soc_cap(*ack.theta);
+    switch_.set_soc_cap(policy_->soc_cap());
+  }
+  pending_.active = false;
+}
+
+void Node::abort_packet(bool record_history) {
+  sim_->cancel(pending_.timeout);
+  sim_->cancel(pending_.retx);
+  metrics_->latency_s.add(period_.seconds());
+  if (record_history && pending_.transmissions > 0) {
+    retx_estimator_.record(static_cast<std::size_t>(pending_.window),
+                           pending_.transmissions - 1);
+    etx_ewma_.observe(pending_.spent.joules() / pending_.transmissions);
+  }
+  pending_.active = false;
+}
+
+void Node::apply_adr(const AdrCommand& command) {
+  tx_params_.sf = command.sf;
+  tx_params_.tx_power_dbm = command.tx_power_dbm;
+  tx_params_ = tx_params_.with_auto_ldro();
+  single_attempt_energy_ = attempt_demand(tx_params_);
+  max_packet_energy_ = single_attempt_energy_ * config_->timings.max_transmissions;
+}
+
+void Node::finalize_metrics(Time now) {
+  metrics_->degradation = tracker_.degradation(now);
+  metrics_->cycle_linear = tracker_.cycle_linear();
+  metrics_->calendar_linear = tracker_.calendar_linear(now);
+  metrics_->mean_soc = tracker_.mean_soc();
+  metrics_->final_soc = battery_.soc();
+}
+
+}  // namespace blam

@@ -1,0 +1,202 @@
+// End device: sensor node with a solar harvester, a software-defined
+// battery, the class-A LoRaWAN transmission ladder, and a pluggable MAC
+// policy (LoRaWAN / BLAM / theta-only).
+//
+// Lifecycle per sampling period (all nodes boot at t=0, synchronized
+// deployment):
+//   1. wake at the period boundary; integrate sleep consumption and harvest
+//      since the last event through the power switch; refresh capacity fade;
+//   2. generate one packet and ask the MAC policy for a forecast window
+//      (BLAM runs Algorithm 1 over per-window solar forecasts and energy
+//      estimates; LoRaWAN answers "window 0");
+//   3. at the chosen instant run the class-A ladder: up to 8 transmissions,
+//      each = TX + RX1/RX2 listen, funded green-first with the battery
+//      covering deficits; no ACK by the window close => random backoff and
+//      retransmit;
+//   4. on ACK: update metrics, EWMA energy estimate (Eq. 13), the per-window
+//      retransmission history (Eq. 14), and adopt the piggy-backed w_u.
+//
+// Energy bookkeeping is event-lazy: the battery state only advances at node
+// events, with harvest integrated in O(1) from the cumulative solar trace —
+// this is what makes 500 nodes x 15 years tractable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "degradation/tracker.hpp"
+#include "energy/battery.hpp"
+#include "energy/power_switch.hpp"
+#include "energy/solar.hpp"
+#include "energy/supercap.hpp"
+#include "energy/thermal.hpp"
+#include "forecast/ewma.hpp"
+#include "forecast/retx_estimator.hpp"
+#include "forecast/solar_forecaster.hpp"
+#include "lora/airtime.hpp"
+#include "lora/channel_plan.hpp"
+#include "lora/link.hpp"
+#include "mac/device_mac.hpp"
+#include "mac/duty_cycle.hpp"
+#include "mac/frame.hpp"
+#include "net/metrics.hpp"
+#include "net/packet_log.hpp"
+#include "net/scenario.hpp"
+#include "sim/simulator.hpp"
+
+namespace blam {
+
+class Gateway;
+
+class Node {
+ public:
+  struct Init {
+    std::uint32_t id{0};
+    Position position{};
+    Time period{};
+    SpreadingFactor sf{SpreadingFactor::kSF10};
+    /// Path loss (dB) to each gateway, indexed by gateway id.
+    std::vector<double> link_losses_db;
+    Energy battery_capacity{};
+    double panel_scale{1.0};
+  };
+
+  Node(const Init& init, const ScenarioConfig& config, Simulator& sim,
+       const std::vector<std::unique_ptr<Gateway>>& gateways, const ChannelPlan& plan,
+       const SolarTrace& trace, const DegradationModel& model, const TemperatureModel& thermal,
+       const UtilityFunction& utility, NodeMetrics& metrics, Rng rng);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Attaches the optional packet-event log (nullptr = disabled). Call
+  /// before start().
+  void attach_packet_log(PacketLog* log) { packet_log_ = log; }
+
+  /// Schedules the first sampling period at t = 0.
+  void start();
+
+  /// Gateway delivers a decoded ACK; `ack_end` is when its airtime finishes.
+  void receive_ack(const AckFrame& ack, Time ack_end);
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] Position position() const { return position_; }
+  /// Path loss to a specific gateway.
+  [[nodiscard]] double link_loss_db(int gateway_id) const {
+    return link_losses_db_.at(static_cast<std::size_t>(gateway_id));
+  }
+  /// Best (lowest) path loss across gateways.
+  [[nodiscard]] double min_link_loss_db() const { return min_link_loss_db_; }
+  [[nodiscard]] SpreadingFactor sf() const { return tx_params_.sf; }
+  /// Current radio parameters in ADR-command form (what the server adjusts).
+  [[nodiscard]] AdrCommand radio_params() const {
+    return AdrCommand{tx_params_.sf, tx_params_.tx_power_dbm};
+  }
+  [[nodiscard]] Time period() const { return period_; }
+  [[nodiscard]] int n_windows() const { return n_windows_; }
+  [[nodiscard]] double w_u() const { return w_u_; }
+  [[nodiscard]] const Battery& battery() const { return battery_; }
+  [[nodiscard]] const Supercap* supercap() const {
+    return supercap_.has_value() ? &*supercap_ : nullptr;
+  }
+  [[nodiscard]] const DegradationTracker& tracker() const { return tracker_; }
+  [[nodiscard]] const MacPolicy& policy() const { return *policy_; }
+
+  /// Ground-truth degradation right now (advances the SoC integral virtually).
+  [[nodiscard]] double degradation_now(Time now) const { return tracker_.degradation(now); }
+
+  /// Copies degradation ground truth into the metrics record.
+  void finalize_metrics(Time now);
+
+ private:
+  void on_period_start();
+  void start_attempt();
+  void on_ack_timeout();
+
+  /// Integrates sleep consumption + harvest over [last_account_, now].
+  void account_to(Time now);
+
+  /// Energy one transmission attempt costs: TX airtime + both RX windows.
+  [[nodiscard]] Energy attempt_demand(const TxParams& params) const;
+
+  /// Span an attempt occupies: airtime + RX2 delay + RX window.
+  [[nodiscard]] Time attempt_span(const TxParams& params) const;
+
+  void record_soc(Time t);
+  void log_event(PacketEventKind kind, int attempt = -1);
+  void update_capacity_fade(Time now);
+  /// Applies a server ADR command: new SF / TX power, refreshed energy
+  /// constants (the EWMA then converges to the new per-attempt cost).
+  void apply_adr(const AdrCommand& command);
+  /// Shared failure path: latency penalty, optional estimator updates.
+  /// Callers bump the counter matching the failure cause.
+  void abort_packet(bool record_history);
+  [[nodiscard]] UplinkFrame build_frame();
+
+  // --- identity / configuration -------------------------------------------
+  std::uint32_t id_;
+  Position position_;
+  Time period_;
+  int n_windows_;
+  TxParams tx_params_;
+  std::vector<double> link_losses_db_;
+  double min_link_loss_db_;
+  const ScenarioConfig* config_;
+  Simulator* sim_;
+  const std::vector<std::unique_ptr<Gateway>>* gateways_;
+  const ChannelPlan* plan_;
+  const TemperatureModel* thermal_;
+  const UtilityFunction* utility_;
+  NodeMetrics* metrics_;
+  PacketLog* packet_log_{nullptr};
+
+  // --- energy subsystem ----------------------------------------------------
+  Battery battery_;
+  Harvester harvester_;
+  std::optional<Supercap> supercap_;
+  PowerSwitch switch_;
+  DegradationTracker tracker_;
+  SolarForecaster forecaster_;
+  Ewma etx_ewma_;
+  RetxEstimator retx_estimator_;
+  std::unique_ptr<MacPolicy> policy_;
+  DutyCycleLimiter duty_cycle_;
+  Rng rng_;
+
+  // --- running state -------------------------------------------------------
+  Time last_account_{Time::zero()};
+  Time last_fade_update_{Time::zero()};
+  double w_u_{0.0};
+  std::uint32_t next_seq_{1};
+  Energy single_attempt_energy_{};  // one TX + RX windows; EWMA warm-up value
+  Energy max_packet_energy_{};      // DIF normalizer: full retransmission budget
+
+  struct Pending {
+    bool active{false};
+    std::uint32_t seq{0};
+    Time generated_at{};
+    int window{0};
+    int transmissions{0};  // completed transmissions of this packet
+    Energy spent{};        // TX energy spent on this packet so far
+    EventHandle timeout{};
+    /// Backoff-scheduled retransmission; must be cancelled whenever the
+    /// packet resolves, or the stale event fires into the next packet.
+    EventHandle retx{};
+  };
+  Pending pending_;
+
+  // SoC transition points for the next uplink report (paper: two points).
+  SocSample period_start_sample_{};
+  SocSample latest_sample_{};
+  bool has_samples_{false};
+
+  // Scratch buffers reused every period (no per-period allocation).
+  std::vector<Energy> harvest_scratch_;
+  std::vector<Energy> cost_scratch_;
+};
+
+}  // namespace blam

@@ -1,0 +1,53 @@
+#include "net/packet_log.hpp"
+
+#include "common/csv.hpp"
+
+namespace blam {
+
+const char* to_string(PacketEventKind kind) {
+  switch (kind) {
+    case PacketEventKind::kGenerated:
+      return "generated";
+    case PacketEventKind::kPolicyDrop:
+      return "policy_drop";
+    case PacketEventKind::kBrownout:
+      return "brownout";
+    case PacketEventKind::kDutyDefer:
+      return "duty_defer";
+    case PacketEventKind::kTxStart:
+      return "tx_start";
+    case PacketEventKind::kDelivered:
+      return "delivered";
+    case PacketEventKind::kExhausted:
+      return "exhausted";
+  }
+  return "?";
+}
+
+std::size_t PacketLog::count(PacketEventKind kind) const {
+  std::size_t n = 0;
+  for (const PacketEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<PacketEvent> PacketLog::history(std::uint32_t node, std::uint32_t seq) const {
+  std::vector<PacketEvent> out;
+  for (const PacketEvent& e : events_) {
+    if (e.node == node && e.seq == seq) out.push_back(e);
+  }
+  return out;
+}
+
+void PacketLog::write_csv(const std::string& path) const {
+  CsvWriter csv{path, {"time_s", "node", "seq", "attempt", "window", "kind"}};
+  for (const PacketEvent& e : events_) {
+    csv.row({CsvWriter::cell(e.at.seconds()), CsvWriter::cell(static_cast<std::uint64_t>(e.node)),
+             CsvWriter::cell(static_cast<std::uint64_t>(e.seq)),
+             CsvWriter::cell(static_cast<std::int64_t>(e.attempt)),
+             CsvWriter::cell(static_cast<std::int64_t>(e.window)), to_string(e.kind)});
+  }
+}
+
+}  // namespace blam

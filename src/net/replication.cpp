@@ -1,0 +1,109 @@
+#include "net/replication.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "net/experiment.hpp"
+
+namespace blam {
+
+namespace {
+
+// Two-sided critical values t_{alpha/2, df} for df = 1..30.
+constexpr std::array<double, 30> kT90{6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860,
+                                      1.833, 1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746,
+                                      1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
+                                      1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+constexpr std::array<double, 30> kT95{12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+                                      2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+                                      2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+                                      2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+constexpr std::array<double, 30> kT99{63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355,
+                                      3.250,  3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921,
+                                      2.898,  2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797,
+                                      2.787,  2.779, 2.771, 2.763, 2.756, 2.750};
+
+}  // namespace
+
+double t_critical(double confidence, std::size_t degrees_of_freedom) {
+  if (degrees_of_freedom == 0) return 0.0;
+  const std::array<double, 30>* table = nullptr;
+  double z = 0.0;
+  if (confidence == 0.90) {
+    table = &kT90;
+    z = 1.645;
+  } else if (confidence == 0.95) {
+    table = &kT95;
+    z = 1.960;
+  } else if (confidence == 0.99) {
+    table = &kT99;
+    z = 2.576;
+  } else {
+    throw std::invalid_argument{"t_critical: supported confidence levels are 0.90/0.95/0.99"};
+  }
+  if (degrees_of_freedom <= table->size()) return (*table)[degrees_of_freedom - 1];
+  return z;
+}
+
+Estimate estimate_from_samples(const std::vector<double>& samples, double confidence) {
+  Estimate e;
+  e.replications = samples.size();
+  if (samples.empty()) return e;
+  RunningStats stats;
+  for (double s : samples) stats.add(s);
+  e.mean = stats.mean();
+  if (samples.size() >= 2) {
+    const double sem = stats.stddev() / std::sqrt(static_cast<double>(samples.size()));
+    e.half_width = t_critical(confidence, samples.size() - 1) * sem;
+  }
+  return e;
+}
+
+std::string Estimate::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.5g +/- %.2g", mean, half_width);
+  return buf;
+}
+
+ReplicatedSummary replicate(const ScenarioConfig& config, Time duration, int replications,
+                            double confidence) {
+  if (replications <= 0) throw std::invalid_argument{"replicate: need at least one replication"};
+  ReplicatedSummary out;
+  out.label = config.label;
+  out.replications = static_cast<std::size_t>(replications);
+
+  std::vector<double> prr;
+  std::vector<double> min_prr;
+  std::vector<double> utility;
+  std::vector<double> retx;
+  std::vector<double> energy;
+  std::vector<double> deg_mean;
+  std::vector<double> deg_max;
+  std::vector<double> latency;
+  for (int r = 0; r < replications; ++r) {
+    ScenarioConfig run = config;
+    run.seed = config.seed + static_cast<std::uint64_t>(r);
+    const ExperimentResult result = run_scenario(run, duration);
+    prr.push_back(result.summary.mean_prr);
+    min_prr.push_back(result.summary.min_prr);
+    utility.push_back(result.summary.mean_utility);
+    retx.push_back(result.summary.mean_retx);
+    energy.push_back(result.summary.total_tx_energy.joules());
+    deg_mean.push_back(result.summary.degradation_box.mean);
+    deg_max.push_back(result.summary.max_degradation);
+    latency.push_back(result.summary.mean_delivered_latency_s);
+  }
+  out.prr = estimate_from_samples(prr, confidence);
+  out.min_prr = estimate_from_samples(min_prr, confidence);
+  out.utility = estimate_from_samples(utility, confidence);
+  out.retx = estimate_from_samples(retx, confidence);
+  out.tx_energy_j = estimate_from_samples(energy, confidence);
+  out.degradation_mean = estimate_from_samples(deg_mean, confidence);
+  out.degradation_max = estimate_from_samples(deg_max, confidence);
+  out.latency_delivered_s = estimate_from_samples(latency, confidence);
+  return out;
+}
+
+}  // namespace blam

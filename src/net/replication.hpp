@@ -1,0 +1,55 @@
+// Multi-seed replication: run the same scenario under independent seeds and
+// report mean +/- confidence interval for each summary metric — the
+// statistical backbone for honest figure reproduction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "net/scenario.hpp"
+
+namespace blam {
+
+/// Sample mean with a t-distribution confidence half-width.
+struct Estimate {
+  double mean{0.0};
+  /// Half-width of the confidence interval (0 for < 2 replications).
+  double half_width{0.0};
+  std::size_t replications{0};
+
+  [[nodiscard]] double lo() const { return mean - half_width; }
+  [[nodiscard]] double hi() const { return mean + half_width; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Two-sided Student-t critical value for the given confidence level and
+/// degrees of freedom (exact table for small df, normal approximation
+/// beyond). Supported levels: 0.90, 0.95, 0.99.
+[[nodiscard]] double t_critical(double confidence, std::size_t degrees_of_freedom);
+
+/// Builds an Estimate from raw replication samples.
+[[nodiscard]] Estimate estimate_from_samples(const std::vector<double>& samples,
+                                             double confidence = 0.95);
+
+struct ReplicatedSummary {
+  std::string label;
+  std::size_t replications{0};
+  Estimate prr;
+  Estimate min_prr;
+  Estimate utility;
+  Estimate retx;
+  Estimate tx_energy_j;
+  Estimate degradation_mean;
+  Estimate degradation_max;
+  Estimate latency_delivered_s;
+};
+
+/// Runs `config` for `duration` under `replications` independent seeds
+/// (config.seed, config.seed+1, ...) and aggregates. Each replication gets
+/// its own weather (the seed drives the solar trace).
+[[nodiscard]] ReplicatedSummary replicate(const ScenarioConfig& config, Time duration,
+                                          int replications, double confidence = 0.95);
+
+}  // namespace blam

@@ -1,0 +1,152 @@
+#include "net/scenario.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "mac/blam_mac.hpp"
+#include "mac/greedy_green_mac.hpp"
+#include "mac/lorawan_mac.hpp"
+
+namespace blam {
+
+std::string ScenarioConfig::policy_label() const {
+  char buf[32];
+  switch (policy) {
+    case PolicyKind::kLorawan:
+      return "LoRaWAN";
+    case PolicyKind::kBlam:
+      std::snprintf(buf, sizeof buf, "H-%.0f", theta * 100.0);
+      return buf;
+    case PolicyKind::kThetaOnly:
+      std::snprintf(buf, sizeof buf, "H-%.0fC", theta * 100.0);
+      return buf;
+    case PolicyKind::kGreedyGreen:
+      return "GreedyGreen";
+  }
+  return "?";
+}
+
+void ScenarioConfig::validate() const {
+  if (n_nodes <= 0) throw std::invalid_argument{"ScenarioConfig: n_nodes must be positive"};
+  if (radius_m <= 0.0) throw std::invalid_argument{"ScenarioConfig: radius_m must be positive"};
+  if (n_gateways <= 0) throw std::invalid_argument{"ScenarioConfig: n_gateways must be positive"};
+  if (gateway_ring_fraction <= 0.0 || gateway_ring_fraction > 1.0) {
+    throw std::invalid_argument{"ScenarioConfig: gateway_ring_fraction in (0,1]"};
+  }
+  if (min_period <= Time::zero() || min_period > max_period) {
+    throw std::invalid_argument{"ScenarioConfig: invalid period range"};
+  }
+  if (forecast_window <= Time::zero() || forecast_window > min_period) {
+    throw std::invalid_argument{"ScenarioConfig: forecast window must be in (0, min_period]"};
+  }
+  if (theta <= 0.0 || theta > 1.0) throw std::invalid_argument{"ScenarioConfig: theta in (0,1]"};
+  if (w_b < 0.0 || w_b > 1.0) throw std::invalid_argument{"ScenarioConfig: w_b in [0,1]"};
+  if (payload_bytes <= 0 || payload_bytes > 222) {
+    throw std::invalid_argument{"ScenarioConfig: payload_bytes in [1,222]"};
+  }
+  if (ewma_beta < 0.0 || ewma_beta > 1.0) {
+    throw std::invalid_argument{"ScenarioConfig: ewma_beta in [0,1]"};
+  }
+  if (battery_days <= 0.0) throw std::invalid_argument{"ScenarioConfig: battery_days positive"};
+  if (initial_soc < 0.0 || initial_soc > 1.0) {
+    throw std::invalid_argument{"ScenarioConfig: initial_soc in [0,1]"};
+  }
+  if (solar_tx_per_window <= 0.0 && !solar_peak_explicit) {
+    throw std::invalid_argument{"ScenarioConfig: solar_tx_per_window must be positive"};
+  }
+  if (panel_scale_min <= 0.0 || panel_scale_min > panel_scale_max) {
+    throw std::invalid_argument{"ScenarioConfig: invalid panel scale range"};
+  }
+  if (retx_backoff_min < Time::zero() || retx_backoff_min > retx_backoff_max) {
+    throw std::invalid_argument{"ScenarioConfig: invalid retx backoff range"};
+  }
+  if (dissemination_period <= Time::zero()) {
+    throw std::invalid_argument{"ScenarioConfig: dissemination_period must be positive"};
+  }
+  if (period_jitter < 0.0 || period_jitter >= 0.5) {
+    throw std::invalid_argument{"ScenarioConfig: period_jitter in [0,0.5)"};
+  }
+  if (battery_self_discharge_per_month < 0.0 || battery_self_discharge_per_month >= 1.0) {
+    throw std::invalid_argument{"ScenarioConfig: battery_self_discharge_per_month in [0,1)"};
+  }
+  if (duty_cycle <= 0.0 || duty_cycle > 1.0) {
+    throw std::invalid_argument{"ScenarioConfig: duty_cycle in (0,1]"};
+  }
+  if (supercap_tx_buffer < 0.0) {
+    throw std::invalid_argument{"ScenarioConfig: supercap_tx_buffer must be >= 0"};
+  }
+  if (supercap_efficiency <= 0.0 || supercap_efficiency > 1.0) {
+    throw std::invalid_argument{"ScenarioConfig: supercap_efficiency in (0,1]"};
+  }
+  if (supercap_leak_per_day < 0.0 || supercap_leak_per_day >= 1.0) {
+    throw std::invalid_argument{"ScenarioConfig: supercap_leak_per_day in [0,1)"};
+  }
+}
+
+std::unique_ptr<MacPolicy> make_policy(const ScenarioConfig& config) {
+  switch (config.policy) {
+    case PolicyKind::kLorawan:
+      return std::make_unique<LorawanMac>();
+    case PolicyKind::kBlam:
+      return std::make_unique<BlamMac>(config.theta);
+    case PolicyKind::kThetaOnly:
+      return std::make_unique<ThetaOnlyMac>(config.theta);
+    case PolicyKind::kGreedyGreen:
+      return std::make_unique<GreedyGreenMac>();
+  }
+  throw std::logic_error{"make_policy: unknown policy kind"};
+}
+
+std::unique_ptr<UtilityFunction> make_utility(const ScenarioConfig& config) {
+  switch (config.utility) {
+    case UtilityKind::kLinear:
+      return std::make_unique<LinearUtility>();
+    case UtilityKind::kExponential:
+      return std::make_unique<ExponentialUtility>(config.utility_lambda);
+    case UtilityKind::kStep:
+      return std::make_unique<StepUtility>(config.step_deadline, config.step_floor);
+  }
+  throw std::logic_error{"make_utility: unknown utility kind"};
+}
+
+ScenarioConfig lorawan_scenario(int n_nodes, std::uint64_t seed) {
+  ScenarioConfig c;
+  c.label = "LoRaWAN";
+  c.policy = PolicyKind::kLorawan;
+  c.theta = 1.0;
+  c.n_nodes = n_nodes;
+  c.seed = seed;
+  return c;
+}
+
+ScenarioConfig blam_scenario(int n_nodes, double theta, std::uint64_t seed) {
+  ScenarioConfig c;
+  c.policy = PolicyKind::kBlam;
+  c.theta = theta;
+  c.n_nodes = n_nodes;
+  c.seed = seed;
+  c.label = c.policy_label();
+  return c;
+}
+
+ScenarioConfig greedy_green_scenario(int n_nodes, std::uint64_t seed) {
+  ScenarioConfig c;
+  c.policy = PolicyKind::kGreedyGreen;
+  c.theta = 1.0;
+  c.n_nodes = n_nodes;
+  c.seed = seed;
+  c.label = c.policy_label();
+  return c;
+}
+
+ScenarioConfig theta_only_scenario(int n_nodes, double theta, std::uint64_t seed) {
+  ScenarioConfig c;
+  c.policy = PolicyKind::kThetaOnly;
+  c.theta = theta;
+  c.n_nodes = n_nodes;
+  c.seed = seed;
+  c.label = c.policy_label();
+  return c;
+}
+
+}  // namespace blam

@@ -1,0 +1,161 @@
+#include "net/scenario_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace blam {
+
+namespace {
+
+PolicyKind policy_from_string(const std::string& s) {
+  if (s == "lorawan") return PolicyKind::kLorawan;
+  if (s == "blam") return PolicyKind::kBlam;
+  if (s == "theta_only") return PolicyKind::kThetaOnly;
+  if (s == "greedy_green") return PolicyKind::kGreedyGreen;
+  throw std::runtime_error{"scenario: unknown policy '" + s +
+                           "' (expected lorawan|blam|theta_only|greedy_green)"};
+}
+
+UtilityKind utility_from_string(const std::string& s) {
+  if (s == "linear") return UtilityKind::kLinear;
+  if (s == "exponential") return UtilityKind::kExponential;
+  if (s == "step") return UtilityKind::kStep;
+  throw std::runtime_error{"scenario: unknown utility '" + s +
+                           "' (expected linear|exponential|step)"};
+}
+
+SfAssignment sf_assignment_from_string(const std::string& s) {
+  if (s == "fixed") return SfAssignment::kFixed;
+  if (s == "distance") return SfAssignment::kDistanceBased;
+  throw std::runtime_error{"scenario: unknown sf_assignment '" + s +
+                           "' (expected fixed|distance)"};
+}
+
+}  // namespace
+
+ScenarioConfig scenario_from_config(const ConfigFile& file) {
+  ScenarioConfig c;
+
+  c.seed = static_cast<std::uint64_t>(file.get_int("seed", static_cast<std::int64_t>(c.seed)));
+  c.n_nodes = static_cast<int>(file.get_int("nodes", c.n_nodes));
+  c.radius_m = file.get_double("radius_m", c.radius_m);
+  c.n_gateways = static_cast<int>(file.get_int("gateways", c.n_gateways));
+  c.gateway_ring_fraction = file.get_double("gateway_ring_fraction", c.gateway_ring_fraction);
+
+  c.min_period = Time::from_minutes(file.get_double("min_period_min", c.min_period.minutes()));
+  c.max_period = Time::from_minutes(file.get_double("max_period_min", c.max_period.minutes()));
+  c.forecast_window =
+      Time::from_minutes(file.get_double("forecast_window_min", c.forecast_window.minutes()));
+  c.payload_bytes = static_cast<int>(file.get_int("payload_bytes", c.payload_bytes));
+
+  c.policy = policy_from_string(file.get_string("policy", "lorawan"));
+  c.theta = file.get_double("theta", c.theta);
+  c.w_b = file.get_double("w_b", c.w_b);
+  c.utility = utility_from_string(file.get_string("utility", "linear"));
+  c.utility_lambda = file.get_double("utility_lambda", c.utility_lambda);
+  c.step_deadline = file.get_double("step_deadline", c.step_deadline);
+  c.step_floor = file.get_double("step_floor", c.step_floor);
+  c.ewma_beta = file.get_double("ewma_beta", c.ewma_beta);
+
+  c.uplink_channels = static_cast<int>(file.get_int("uplink_channels", c.uplink_channels));
+  c.downlink_channels = static_cast<int>(file.get_int("downlink_channels", c.downlink_channels));
+  c.tx_power_dbm = file.get_double("tx_power_dbm", c.tx_power_dbm);
+  c.gateway_demod_paths =
+      static_cast<int>(file.get_int("gateway_demod_paths", c.gateway_demod_paths));
+  c.sf_assignment = sf_assignment_from_string(file.get_string("sf_assignment", "fixed"));
+  if (file.has("fixed_sf")) {
+    c.fixed_sf = sf_from_value(static_cast<int>(file.get_int("fixed_sf", 10)));
+  }
+  c.sf_margin_db = file.get_double("sf_margin_db", c.sf_margin_db);
+  c.downlink_tx_dbm = file.get_double("downlink_tx_dbm", c.downlink_tx_dbm);
+  c.rx1_bandwidth_hz = file.get_double("rx1_bandwidth_hz", c.rx1_bandwidth_hz);
+  c.path_loss.exponent = file.get_double("path_loss_exponent", c.path_loss.exponent);
+  c.path_loss.shadowing_sigma_db =
+      file.get_double("shadowing_sigma_db", c.path_loss.shadowing_sigma_db);
+  c.adr_enabled = file.get_bool("adr", c.adr_enabled);
+  c.fast_fading = file.get_bool("fast_fading", c.fast_fading);
+  c.duty_cycle = file.get_double("duty_cycle", c.duty_cycle);
+  c.period_jitter = file.get_double("period_jitter", c.period_jitter);
+  c.confirmed = file.get_bool("confirmed", c.confirmed);
+  c.battery_self_discharge_per_month =
+      file.get_double("battery_self_discharge_per_month", c.battery_self_discharge_per_month);
+  c.interference.tx_per_hour =
+      file.get_double("interference_tx_per_hour", c.interference.tx_per_hour);
+  c.interference.min_rx_dbm = file.get_double("interference_min_dbm", c.interference.min_rx_dbm);
+  c.interference.max_rx_dbm = file.get_double("interference_max_dbm", c.interference.max_rx_dbm);
+
+  c.battery_days = file.get_double("battery_days", c.battery_days);
+  c.initial_soc = file.get_double("initial_soc", c.initial_soc);
+  c.solar_tx_per_window = file.get_double("solar_tx_per_window", c.solar_tx_per_window);
+  c.panel_scale_min = file.get_double("panel_scale_min", c.panel_scale_min);
+  c.panel_scale_max = file.get_double("panel_scale_max", c.panel_scale_max);
+  c.cloud_jitter_spread = file.get_double("cloud_jitter_spread", c.cloud_jitter_spread);
+  c.forecast_error_sigma = file.get_double("forecast_error_sigma", c.forecast_error_sigma);
+  c.supercap_tx_buffer = file.get_double("supercap_tx_buffer", c.supercap_tx_buffer);
+  c.supercap_efficiency = file.get_double("supercap_efficiency", c.supercap_efficiency);
+  c.supercap_leak_per_day = file.get_double("supercap_leak_per_day", c.supercap_leak_per_day);
+
+  c.temperature_c = file.get_double("temperature_c", c.temperature_c);
+  c.thermal.insulated = file.get_bool("insulated", c.thermal.insulated);
+  c.thermal.mean_c = file.get_double("ambient_mean_c", c.thermal.mean_c);
+  c.thermal.seasonal_amplitude_c =
+      file.get_double("ambient_seasonal_c", c.thermal.seasonal_amplitude_c);
+  c.thermal.diurnal_amplitude_c =
+      file.get_double("ambient_diurnal_c", c.thermal.diurnal_amplitude_c);
+  c.dissemination_period =
+      Time::from_days(file.get_double("dissemination_days", c.dissemination_period.days()));
+  const std::string chemistry = file.get_string("chemistry", "lmo");
+  if (chemistry == "lmo") {
+    c.degradation = DegradationParams::lmo();
+  } else if (chemistry == "nmc") {
+    c.degradation = DegradationParams::nmc();
+  } else if (chemistry == "lfp") {
+    c.degradation = DegradationParams::lfp();
+  } else {
+    throw std::runtime_error{"scenario: unknown chemistry '" + chemistry +
+                             "' (expected lmo|nmc|lfp)"};
+  }
+  c.degradation.k6 = file.get_double("cycle_aging_k6", c.degradation.k6);
+
+  c.adaptive_theta = file.get_bool("adaptive_theta", c.adaptive_theta);
+  c.packet_log = file.get_bool("packet_log", c.packet_log);
+  c.label = file.get_string("label", c.policy_label());
+
+  const auto unused = file.unused_keys();
+  if (!unused.empty()) {
+    std::string joined;
+    for (const auto& key : unused) joined += (joined.empty() ? "" : ", ") + key;
+    throw std::runtime_error{"scenario: unknown keys (typo?): " + joined};
+  }
+  c.validate();
+  return c;
+}
+
+std::string describe_scenario(const ScenarioConfig& c) {
+  std::ostringstream out;
+  out << "label              = " << c.label << "\n"
+      << "policy             = " << c.policy_label() << " (theta " << c.theta << ", w_b " << c.w_b
+      << ")\n"
+      << "nodes / gateways   = " << c.n_nodes << " / " << c.n_gateways << " over "
+      << c.radius_m / 1000.0 << " km\n"
+      << "period             = [" << c.min_period.minutes() << ", " << c.max_period.minutes()
+      << "] min, window " << c.forecast_window.minutes() << " min\n"
+      << "radio              = " << (c.sf_assignment == SfAssignment::kFixed
+                                         ? to_string(c.fixed_sf)
+                                         : std::string{"distance-based SF"})
+      << ", " << c.tx_power_dbm << " dBm, " << c.uplink_channels << " channels, ADR "
+      << (c.adr_enabled ? "on" : "off") << "\n"
+      << "battery            = " << c.battery_days << " nominal days, theta cap " << c.theta
+      << (c.supercap_tx_buffer > 0.0
+              ? ", supercap " + std::to_string(c.supercap_tx_buffer) + " tx"
+              : std::string{})
+      << "\n"
+      << "thermal            = "
+      << (c.thermal.insulated ? "insulated " + std::to_string(c.temperature_c) + " C"
+                              : "outdoor, mean " + std::to_string(c.thermal.mean_c) + " C")
+      << "\n"
+      << "seed               = " << c.seed << "\n";
+  return out.str();
+}
+
+}  // namespace blam

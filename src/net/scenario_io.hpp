@@ -1,0 +1,22 @@
+// ScenarioConfig <-> key=value config-file bridge for the scenario-runner
+// CLI: every experiment knob is settable from a text file, so sweeps can be
+// scripted without recompiling.
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "net/scenario.hpp"
+
+namespace blam {
+
+/// Builds a ScenarioConfig from a parsed config file, starting from the
+/// defaults. Throws std::runtime_error on malformed values or unknown keys
+/// (typo protection) and std::invalid_argument if the result fails
+/// ScenarioConfig::validate().
+[[nodiscard]] ScenarioConfig scenario_from_config(const ConfigFile& file);
+
+/// One-line-per-field human-readable dump (the runner echoes it).
+[[nodiscard]] std::string describe_scenario(const ScenarioConfig& config);
+
+}  // namespace blam

@@ -1,0 +1,53 @@
+#include "net/state_sampler.hpp"
+
+#include <algorithm>
+
+#include "common/csv.hpp"
+#include "net/network.hpp"
+
+namespace blam {
+
+StateSampler::StateSampler(const Network& network) : network_{&network} {}
+
+void StateSampler::sample() {
+  Snapshot snap;
+  snap.at = network_->simulator().now();
+  const auto& nodes = network_->nodes();
+  snap.soc.reserve(nodes.size());
+  snap.degradation.reserve(nodes.size());
+  snap.calendar_linear.reserve(nodes.size());
+  snap.cycle_linear.reserve(nodes.size());
+  for (const auto& node : nodes) {
+    snap.soc.push_back(node->battery().soc());
+    snap.degradation.push_back(node->tracker().degradation(snap.at));
+    snap.calendar_linear.push_back(node->tracker().calendar_linear(snap.at));
+    snap.cycle_linear.push_back(node->tracker().cycle_linear());
+  }
+  snapshots_.push_back(std::move(snap));
+}
+
+double StateSampler::Snapshot::max_degradation() const {
+  if (degradation.empty()) return 0.0;
+  return *std::max_element(degradation.begin(), degradation.end());
+}
+
+double StateSampler::Snapshot::mean_soc() const {
+  if (soc.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : soc) sum += s;
+  return sum / static_cast<double>(soc.size());
+}
+
+void StateSampler::write_csv(const std::string& path) const {
+  CsvWriter csv{path, {"time_days", "node", "soc", "degradation", "calendar_linear",
+                       "cycle_linear"}};
+  for (const Snapshot& snap : snapshots_) {
+    for (std::size_t i = 0; i < snap.soc.size(); ++i) {
+      csv.row({CsvWriter::cell(snap.at.days()), CsvWriter::cell(static_cast<std::uint64_t>(i)),
+               CsvWriter::cell(snap.soc[i]), CsvWriter::cell(snap.degradation[i]),
+               CsvWriter::cell(snap.calendar_linear[i]), CsvWriter::cell(snap.cycle_linear[i])});
+    }
+  }
+}
+
+}  // namespace blam

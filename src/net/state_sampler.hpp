@@ -1,0 +1,48 @@
+// Periodic network-state sampling: SoC / degradation / cycle-vs-calendar
+// time series per node, collected between run_until() chunks and exportable
+// as CSV — the plumbing behind the time-series figures and any external
+// plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace blam {
+
+class Network;
+
+class StateSampler {
+ public:
+  /// Attaches to a network (non-owning; the network must outlive the
+  /// sampler).
+  explicit StateSampler(const Network& network);
+
+  /// Records one snapshot of every node at the network's current time.
+  void sample();
+
+  struct Snapshot {
+    Time at{};
+    std::vector<double> soc;
+    std::vector<double> degradation;
+    std::vector<double> calendar_linear;
+    std::vector<double> cycle_linear;
+
+    [[nodiscard]] double max_degradation() const;
+    [[nodiscard]] double mean_soc() const;
+  };
+
+  [[nodiscard]] const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+  [[nodiscard]] std::size_t size() const { return snapshots_.size(); }
+
+  /// Writes one row per (snapshot, node): time_days, node, soc,
+  /// degradation, calendar, cycle. Throws std::runtime_error on I/O error.
+  void write_csv(const std::string& path) const;
+
+ private:
+  const Network* network_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace blam

@@ -1,0 +1,20 @@
+// Node placement for the paper's scenario: nodes scattered uniformly at
+// random over a disk around a single gateway (max distance 5 km, "dense
+// deployment").
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lora/link.hpp"
+
+namespace blam {
+
+/// `n` positions uniform over a disk of `radius_m` centred on `center`.
+[[nodiscard]] std::vector<Position> random_disk(int n, double radius_m, Position center, Rng& rng);
+
+/// `n` positions on a ring (equidistant from the gateway) — used by tests
+/// and ablations to give every node an identical link budget.
+[[nodiscard]] std::vector<Position> ring(int n, double radius_m, Position center);
+
+}  // namespace blam

@@ -1,0 +1,83 @@
+// Clairvoyant centralized scheduler — the paper's Sec. III-A formulation.
+//
+// The exact problem is a bi-objective mixed-integer non-linear program
+// (minimize max degradation AND max (1 - utility), subject to one packet per
+// period per node, at most omega concurrent receptions per TDMA slot, and
+// battery bounds). The paper argues it is impractical and never deploys it;
+// we implement the natural greedy relaxation as a reference point:
+//
+//   * time is divided into rho slots; node u generates a packet every tau_u
+//     slots and must send it within that period (constraint 10);
+//   * packets are scheduled most-degraded-node-first (the min-max degradation
+//     objective in priority form); each packet takes the feasible slot in its
+//     period with the lowest local score
+//       gamma = (1 - mu) + w_u * DIF * w_b
+//     subject to slot capacity omega (constraint 11) and the battery bounds
+//     (constraints 12 / 20);
+//   * battery state evolves per Eq. 5 with the theta charge cap.
+//
+// The oracle sees true future harvest (clairvoyance), has no collisions and
+// no retransmissions — it bounds what any distributed protocol can achieve,
+// and the tests compare Algorithm 1 against it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/utility.hpp"
+
+namespace blam {
+
+struct OracleNodeSpec {
+  /// Packet period in slots (tau_u >= 1).
+  int period_slots{1};
+  /// True harvest per slot, length = horizon slots.
+  std::vector<Energy> harvest;
+  /// Energy of one (collision-free) transmission.
+  Energy tx_cost{};
+  /// Battery: initial stored energy and the theta-capped ceiling.
+  Energy initial{};
+  Energy storage_cap{};
+  /// Normalized degradation weight w_u.
+  double w_u{0.0};
+};
+
+struct OracleConfig {
+  int horizon_slots{0};
+  /// Max concurrent receptions per slot (gateway channels * demodulators).
+  int omega{8};
+  double w_b{1.0};
+  const UtilityFunction* utility{nullptr};
+};
+
+struct OracleAssignment {
+  int node{-1};
+  /// Packet index within the node's stream.
+  int packet{-1};
+  /// Absolute slot chosen; -1 if the packet could not be scheduled.
+  int slot{-1};
+  double utility{0.0};
+  double gamma{0.0};
+};
+
+struct OracleResult {
+  std::vector<OracleAssignment> assignments;
+  /// Per-node mean utility over scheduled packets.
+  std::vector<double> node_utility;
+  /// Per-node count of unschedulable packets.
+  std::vector<int> node_drops;
+  /// Mean SoC proxy per node (time average of stored/capacity ceiling base).
+  std::vector<double> node_mean_soc;
+  /// Slot occupancy histogram (diagnostics).
+  std::vector<int> slot_load;
+};
+
+class TdmaScheduler {
+ public:
+  /// Greedy schedule; validates inputs (throws std::invalid_argument).
+  [[nodiscard]] OracleResult schedule(const OracleConfig& config,
+                                      const std::vector<OracleNodeSpec>& nodes) const;
+};
+
+}  // namespace blam

@@ -1,0 +1,95 @@
+// Cancellable pending-event set for the discrete-event engine.
+//
+// Events live in slot storage with generation counters; the heap holds light
+// (time, sequence, slot, generation) tuples. Cancellation is O(1): it bumps
+// nothing in the heap, just marks the slot, and the stale heap entry is
+// discarded when it reaches the top. Slots are recycled only after their heap
+// entry pops, so memory stays proportional to the number of *pending* events
+// even across hundreds of millions of schedule/cancel pairs.
+//
+// Two events at the same timestamp fire in schedule order (FIFO), which keeps
+// simulations deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace blam {
+
+/// Opaque handle to a scheduled event; valid until the event fires or is
+/// cancelled. A default-constructed handle is "null" and safe to cancel.
+struct EventHandle {
+  std::uint32_t slot{kNullSlot};
+  std::uint32_t generation{0};
+
+  static constexpr std::uint32_t kNullSlot = 0xffffffffu;
+  [[nodiscard]] bool is_null() const { return slot == kNullSlot; }
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Inserts an event; `time` must not precede the last popped time (the
+  /// engine enforces this, the queue only stores).
+  EventHandle schedule(Time time, Callback callback);
+
+  /// Cancels a pending event. Returns false if the handle is null, already
+  /// fired, or already cancelled; cancelling such handles is harmless.
+  bool cancel(EventHandle handle);
+
+  /// True if no live (non-cancelled) event remains.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; requires !empty().
+  [[nodiscard]] Time next_time();
+
+  /// Removes the earliest live event and returns its (time, callback).
+  /// Requires !empty().
+  struct Popped {
+    Time time;
+    Callback callback;
+  };
+  [[nodiscard]] Popped pop();
+
+ private:
+  struct Slot {
+    Callback callback;
+    std::uint32_t generation{0};
+    bool live{false};
+  };
+
+  struct HeapEntry {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t generation;
+
+    [[nodiscard]] bool operator>(const HeapEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the heap top; afterwards the top is live
+  /// (or the heap is empty).
+  void prune_top();
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void heap_push(HeapEntry entry);
+  void heap_pop();
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_{0};
+  std::size_t live_{0};
+};
+
+}  // namespace blam

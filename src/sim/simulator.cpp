@@ -1,0 +1,66 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace blam {
+
+EventHandle Simulator::schedule_at(Time at, Callback callback) {
+  if (at < now_) {
+    throw std::invalid_argument{"Simulator::schedule_at: time " + at.to_string() +
+                                " precedes now " + now_.to_string()};
+  }
+  return queue_.schedule(at, std::move(callback));
+}
+
+EventHandle Simulator::schedule_in(Time delay, Callback callback) {
+  if (delay < Time::zero()) {
+    throw std::invalid_argument{"Simulator::schedule_in: negative delay " + delay.to_string()};
+  }
+  return queue_.schedule(now_ + delay, std::move(callback));
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    auto [time, callback] = queue_.pop();
+    now_ = time;
+    ++executed_;
+    callback();
+  }
+}
+
+void Simulator::run_until(Time until) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= until) {
+    auto [time, callback] = queue_.pop();
+    now_ = time;
+    ++executed_;
+    callback();
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+}
+
+PeriodicProcess::PeriodicProcess(Simulator& sim, Time first, Time period, Tick tick)
+    : sim_{sim}, period_{period}, tick_{std::move(tick)} {
+  if (period <= Time::zero()) {
+    throw std::invalid_argument{"PeriodicProcess: period must be positive"};
+  }
+  arm(first);
+}
+
+PeriodicProcess::~PeriodicProcess() { cancel(); }
+
+void PeriodicProcess::cancel() {
+  sim_.cancel(pending_);
+  pending_ = EventHandle{};
+}
+
+void PeriodicProcess::arm(Time at) {
+  pending_ = sim_.schedule_at(at, [this] {
+    arm(sim_.now() + period_);
+    tick_();
+  });
+}
+
+}  // namespace blam

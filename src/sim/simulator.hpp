@@ -1,0 +1,86 @@
+// Discrete-event simulation engine: a clock plus a cancellable event queue.
+//
+// This is the NS-3-core substitute the rest of the repository runs on. The
+// engine is single-threaded and deterministic: same scenario seed, same event
+// trace. Callbacks may schedule and cancel further events freely, including
+// at the current timestamp (they run after the current callback returns).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.hpp"
+#include "sim/event_queue.hpp"
+
+namespace blam {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// Current simulation time. Starts at zero.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `callback` at absolute time `at`; `at` must be >= now().
+  /// Throws std::invalid_argument on an attempt to schedule in the past.
+  EventHandle schedule_at(Time at, Callback callback);
+
+  /// Schedules `callback` after a non-negative delay.
+  EventHandle schedule_in(Time delay, Callback callback);
+
+  /// Cancels a pending event; harmless on null/fired/cancelled handles.
+  bool cancel(EventHandle handle) { return queue_.cancel(handle); }
+
+  /// Runs until the queue drains or `stop()` is called.
+  void run();
+
+  /// Runs events with time <= `until`, then sets the clock to `until`
+  /// (even if the queue drained earlier), unless stopped.
+  void run_until(Time until);
+
+  /// Requests the run loop to return after the current callback.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Number of events executed since construction.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of currently pending events.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_{Time::zero()};
+  std::uint64_t executed_{0};
+  bool stopped_{false};
+};
+
+/// Repeatedly invokes a callback at a fixed period, starting at `first`.
+/// The callback receives the simulator so it can reschedule-free run logic.
+/// Owns its pending event; destroying the process cancels it.
+class PeriodicProcess {
+ public:
+  using Tick = std::function<void()>;
+
+  PeriodicProcess(Simulator& sim, Time first, Time period, Tick tick);
+  ~PeriodicProcess();
+
+  PeriodicProcess(const PeriodicProcess&) = delete;
+  PeriodicProcess& operator=(const PeriodicProcess&) = delete;
+
+  /// Stops future ticks.
+  void cancel();
+
+  [[nodiscard]] Time period() const { return period_; }
+
+ private:
+  void arm(Time at);
+
+  Simulator& sim_;
+  Time period_;
+  Tick tick_;
+  EventHandle pending_{};
+};
+
+}  // namespace blam

@@ -1,0 +1,92 @@
+// Randomized battery invariants: arbitrary charge/discharge/degradation
+// sequences can never break conservation or the capacity bounds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "energy/battery.hpp"
+#include "energy/power_switch.hpp"
+#include "energy/supercap.hpp"
+
+namespace blam {
+namespace {
+
+class BatteryPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatteryPropertyTest, RandomOpsPreserveInvariants) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 37 + 11};
+  Battery battery{Energy::from_joules(rng.uniform(10.0, 1000.0)), rng.uniform(0.0, 1.0)};
+  const double capacity = battery.original_capacity().joules();
+  double degradation = 0.0;
+
+  for (int op = 0; op < 2000; ++op) {
+    const double stored_before = battery.stored().joules();
+    switch (rng.uniform_int(0, 2)) {
+      case 0: {
+        const double cap = rng.uniform(0.0, 1.0);
+        const Energy absorbed = battery.charge(Energy::from_joules(rng.uniform(0.0, 50.0)), cap);
+        EXPECT_GE(absorbed.joules(), 0.0);
+        EXPECT_NEAR(battery.stored().joules(), stored_before + absorbed.joules(), 1e-9);
+        // The cap binds unless the battery was already above it.
+        if (stored_before <= cap * capacity + 1e-9) {
+          EXPECT_LE(battery.soc(), std::min(cap, 1.0 - degradation) + 1e-9);
+        }
+        break;
+      }
+      case 1: {
+        const Energy drawn = battery.discharge(Energy::from_joules(rng.uniform(0.0, 50.0)));
+        EXPECT_GE(drawn.joules(), 0.0);
+        EXPECT_NEAR(battery.stored().joules(), stored_before - drawn.joules(), 1e-9);
+        break;
+      }
+      default: {
+        degradation = std::min(0.95, degradation + rng.uniform(0.0, 0.01));
+        battery.set_degradation(degradation);
+        EXPECT_NEAR(battery.current_capacity().joules(), capacity * (1.0 - degradation), 1e-6);
+        break;
+      }
+    }
+    // Global invariants after every operation.
+    EXPECT_GE(battery.stored().joules(), 0.0);
+    EXPECT_LE(battery.stored().joules(), battery.current_capacity().joules() + 1e-9);
+    EXPECT_GE(battery.soc(), 0.0);
+    EXPECT_LE(battery.soc(), 1.0 + 1e-12);
+    EXPECT_GE(battery.degradation(), degradation - 1e-12);  // monotone
+  }
+}
+
+TEST_P(BatteryPropertyTest, PowerSwitchConservesEnergyUnderRandomLoad) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 53 + 5};
+  Battery battery{Energy::from_joules(100.0), rng.uniform(0.0, 1.0)};
+  Supercap cap{Energy::from_joules(rng.uniform(1.0, 20.0)), rng.uniform(0.5, 1.0), 0.0};
+  PowerSwitch sw{battery, rng.uniform(0.1, 1.0)};
+  const bool with_cap = GetParam() % 2 == 0;
+  if (with_cap) sw.attach_supercap(&cap);
+
+  for (int step = 0; step < 1000; ++step) {
+    const double harvest = rng.uniform(0.0, 20.0);
+    const double demand = rng.uniform(0.0, 20.0);
+    const double battery_before = battery.stored().joules();
+    const double cap_before = cap.stored().joules();
+    const PowerFlow flow = sw.apply(Energy::from_joules(harvest), Energy::from_joules(demand));
+
+    // Demand is always split exactly between green, storage and deficit.
+    EXPECT_NEAR(flow.from_green.joules() + flow.from_battery.joules() + flow.deficit.joules(),
+                demand, 1e-9);
+    // Harvest is always split exactly between load, charge and waste.
+    EXPECT_NEAR(flow.from_green.joules() + flow.charged.joules() + flow.wasted.joules(), harvest,
+                1e-9);
+    // Storage delta matches the flows (charging may lose to cap efficiency).
+    const double delta =
+        (battery.stored().joules() - battery_before) + (cap.stored().joules() - cap_before);
+    EXPECT_LE(delta, flow.charged.joules() + 1e-9);
+    EXPECT_GE(delta, -flow.from_battery.joules() - 1e-9);
+    EXPECT_GE(flow.deficit.joules(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatteryPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace blam

@@ -1,0 +1,172 @@
+#include "mac/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace blam {
+namespace {
+
+UplinkFrame sample_uplink() {
+  UplinkFrame frame;
+  frame.node_id = 0xdeadbeef;
+  frame.seq = 1234;
+  frame.attempt = 3;
+  frame.selected_window = 5;
+  frame.app_payload_bytes = 10;
+  frame.confirmed = true;
+  frame.soc_report.push_back({Time::from_minutes(100.0), 0.75});
+  frame.soc_report.push_back({Time::from_minutes(104.0), 0.5});
+  return frame;
+}
+
+TEST(Codec, UplinkSizeMatchesAirtimeModel) {
+  // The airtime model charges app payload + 2 bytes per SoC sample; the
+  // wire format adds the fixed header. This pins the paper's "+4 bytes"
+  // claim at the byte level.
+  const UplinkFrame frame = sample_uplink();
+  const auto bytes = encode_uplink(frame);
+  EXPECT_EQ(bytes.size(), kUplinkHeaderBytes + 2u * 2u +
+                              static_cast<std::size_t>(frame.app_payload_bytes));
+  EXPECT_EQ(bytes.size() - kUplinkHeaderBytes,
+            static_cast<std::size_t>(frame.total_bytes()));
+}
+
+TEST(Codec, UplinkRoundTrip) {
+  const UplinkFrame frame = sample_uplink();
+  const auto bytes = encode_uplink(frame);
+  const Time reference = frame.soc_report.back().t;
+  const UplinkFrame decoded = decode_uplink(bytes, reference);
+  EXPECT_EQ(decoded.node_id, frame.node_id);
+  EXPECT_EQ(decoded.seq, frame.seq & 0xffff);
+  EXPECT_EQ(decoded.attempt, frame.attempt);
+  EXPECT_EQ(decoded.selected_window, frame.selected_window);
+  EXPECT_EQ(decoded.app_payload_bytes, frame.app_payload_bytes);
+  EXPECT_EQ(decoded.confirmed, frame.confirmed);
+  ASSERT_EQ(decoded.soc_report.size(), 2u);
+  // Minute-quantized times, Q8-quantized SoC.
+  EXPECT_NEAR(decoded.soc_report[0].t.minutes(), 100.0, 0.5);
+  EXPECT_NEAR(decoded.soc_report[0].soc, 0.75, 1.0 / 255.0);
+  EXPECT_NEAR(decoded.soc_report[1].t.minutes(), 104.0, 0.5);
+  EXPECT_NEAR(decoded.soc_report[1].soc, 0.5, 1.0 / 255.0);
+}
+
+TEST(Codec, UnconfirmedAndEmptyReport) {
+  UplinkFrame frame;
+  frame.node_id = 7;
+  frame.seq = 9;
+  frame.confirmed = false;
+  frame.app_payload_bytes = 10;
+  const auto bytes = encode_uplink(frame);
+  EXPECT_EQ(bytes.size(), kUplinkHeaderBytes + 10u);
+  const UplinkFrame decoded = decode_uplink(bytes, Time::zero());
+  EXPECT_FALSE(decoded.confirmed);
+  EXPECT_TRUE(decoded.soc_report.empty());
+}
+
+TEST(Codec, UplinkValidation) {
+  UplinkFrame frame = sample_uplink();
+  frame.attempt = 8;
+  EXPECT_THROW(encode_uplink(frame), std::invalid_argument);
+  frame = sample_uplink();
+  frame.soc_report.push_back({Time::zero(), 0.1});
+  EXPECT_THROW(encode_uplink(frame), std::invalid_argument);
+  frame = sample_uplink();
+  frame.app_payload_bytes = 0;
+  EXPECT_THROW(encode_uplink(frame), std::invalid_argument);
+}
+
+TEST(Codec, DecodeRejectsGarbage) {
+  const std::vector<std::uint8_t> empty;
+  EXPECT_THROW(decode_uplink(empty, Time::zero()), std::invalid_argument);
+  std::vector<std::uint8_t> bad{0xff, 0, 0, 0, 0, 0, 0, 0, 1, 0};
+  EXPECT_THROW(decode_uplink(bad, Time::zero()), std::invalid_argument);
+  auto truncated = encode_uplink(sample_uplink());
+  truncated.resize(6);
+  EXPECT_THROW(decode_uplink(truncated, Time::zero()), std::invalid_argument);
+  EXPECT_THROW(decode_ack(empty), std::invalid_argument);
+}
+
+TEST(Codec, AckMinimalIsSevenBytes) {
+  AckFrame ack;
+  ack.node_id = 3;
+  ack.seq = 4;
+  const auto bytes = encode_ack(ack);
+  EXPECT_EQ(bytes.size(), kAckHeaderBytes);  // bare ACK: no options
+  const AckFrame decoded = decode_ack(bytes);
+  EXPECT_EQ(decoded.node_id, 3u);
+  EXPECT_EQ(decoded.seq, 4u);
+  EXPECT_FALSE(decoded.has_degradation);
+  EXPECT_FALSE(decoded.adr.has_value());
+  EXPECT_FALSE(decoded.theta.has_value());
+}
+
+TEST(Codec, AckWithEverythingRoundTrips) {
+  AckFrame ack;
+  ack.node_id = 99;
+  ack.seq = 1000;
+  ack.has_degradation = true;
+  ack.normalized_degradation = 0.42;
+  ack.adr = AdrCommand{SpreadingFactor::kSF8, 8.0};
+  ack.theta = 0.5;
+  const auto bytes = encode_ack(ack);
+  // header + w_u(1) + LinkADR(4) + theta(1).
+  EXPECT_EQ(bytes.size(), kAckHeaderBytes + 6u);
+  const AckFrame decoded = decode_ack(bytes);
+  EXPECT_TRUE(decoded.has_degradation);
+  EXPECT_NEAR(decoded.normalized_degradation, 0.42, 1.0 / 255.0);
+  ASSERT_TRUE(decoded.adr.has_value());
+  EXPECT_EQ(decoded.adr->sf, SpreadingFactor::kSF8);
+  EXPECT_DOUBLE_EQ(decoded.adr->tx_power_dbm, 8.0);
+  ASSERT_TRUE(decoded.theta.has_value());
+  EXPECT_NEAR(*decoded.theta, 0.5, 1.0 / 255.0);
+}
+
+TEST(Codec, PaperOverheadClaims) {
+  // Paper Sec. III-B: the SoC trace share adds 4 bytes to the uplink
+  // (2 x 2 bytes) and the degradation dissemination adds 1 byte to the ACK.
+  UplinkFrame with_report = sample_uplink();  // the two-point report
+  UplinkFrame without = with_report;
+  without.soc_report.clear();
+  EXPECT_EQ(encode_uplink(with_report).size() - encode_uplink(without).size(), 4u);
+
+  AckFrame with_w;
+  with_w.has_degradation = true;
+  AckFrame bare;
+  EXPECT_EQ(encode_ack(with_w).size() - encode_ack(bare).size(), 1u);
+}
+
+TEST(Codec, RandomizedRoundTripProperty) {
+  Rng rng{321};
+  for (int trial = 0; trial < 300; ++trial) {
+    UplinkFrame frame;
+    frame.node_id = static_cast<std::uint32_t>(rng.next_u64());
+    frame.seq = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffff));
+    frame.attempt = static_cast<int>(rng.uniform_int(0, 7));
+    frame.selected_window = static_cast<int>(rng.uniform_int(0, 59));
+    frame.app_payload_bytes = static_cast<int>(rng.uniform_int(1, 64));
+    frame.confirmed = rng.bernoulli(0.5);
+    const int samples = static_cast<int>(rng.uniform_int(0, 2));
+    Time t = Time::from_minutes(rng.uniform(0.0, 1000.0));
+    for (int s = 0; s < samples; ++s) {
+      frame.soc_report.push_back({t, rng.uniform(0.0, 1.0)});
+      t += Time::from_minutes(rng.uniform(1.0, 30.0));
+    }
+    const auto bytes = encode_uplink(frame);
+    const Time reference = frame.soc_report.empty() ? Time::zero() : frame.soc_report.back().t;
+    const UplinkFrame decoded = decode_uplink(bytes, reference);
+    ASSERT_EQ(decoded.node_id, frame.node_id);
+    ASSERT_EQ(decoded.seq, frame.seq);
+    ASSERT_EQ(decoded.attempt, frame.attempt);
+    ASSERT_EQ(decoded.selected_window, frame.selected_window);
+    ASSERT_EQ(decoded.app_payload_bytes, frame.app_payload_bytes);
+    ASSERT_EQ(decoded.soc_report.size(), frame.soc_report.size());
+    for (std::size_t s = 0; s < frame.soc_report.size(); ++s) {
+      ASSERT_NEAR(decoded.soc_report[s].soc, frame.soc_report[s].soc, 1.0 / 255.0);
+      ASSERT_NEAR(decoded.soc_report[s].t.minutes(), frame.soc_report[s].t.minutes(), 0.51);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blam

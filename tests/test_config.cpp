@@ -1,0 +1,145 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "net/scenario_io.hpp"
+
+namespace blam {
+namespace {
+
+TEST(ConfigFile, ParsesKeysValuesAndComments) {
+  const ConfigFile c = ConfigFile::parse(R"(
+# comment line
+alpha = 1.5
+name = hello world   # trailing comment
+flag=true
+count =  42
+)");
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(c.get_string("name", ""), "hello world");
+  EXPECT_TRUE(c.get_bool("flag", false));
+  EXPECT_EQ(c.get_int("count", 0), 42);
+}
+
+TEST(ConfigFile, FallbacksForMissingKeys) {
+  const ConfigFile c = ConfigFile::parse("");
+  EXPECT_DOUBLE_EQ(c.get_double("x", 3.5), 3.5);
+  EXPECT_EQ(c.get_int("y", -7), -7);
+  EXPECT_FALSE(c.get_bool("z", false));
+  EXPECT_EQ(c.get_string("s", "dflt"), "dflt");
+  EXPECT_FALSE(c.has("x"));
+}
+
+TEST(ConfigFile, MalformedValuesThrow) {
+  const ConfigFile c = ConfigFile::parse("x = not_a_number\nb = maybe\ni = 1.5");
+  EXPECT_THROW((void)c.get_double("x", 0.0), std::runtime_error);
+  EXPECT_THROW((void)c.get_bool("b", false), std::runtime_error);
+  EXPECT_THROW((void)c.get_int("i", 0), std::runtime_error);
+}
+
+TEST(ConfigFile, MalformedLinesThrow) {
+  EXPECT_THROW(ConfigFile::parse("just some words\n"), std::runtime_error);
+  EXPECT_THROW(ConfigFile::parse("= value\n"), std::runtime_error);
+}
+
+TEST(ConfigFile, BooleanSpellings) {
+  const ConfigFile c = ConfigFile::parse("a=YES\nb=Off\nc=1\nd=false");
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_FALSE(c.get_bool("b", true));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+}
+
+TEST(ConfigFile, UnusedKeysAudit) {
+  const ConfigFile c = ConfigFile::parse("used = 1\nunused = 2");
+  (void)c.get_int("used", 0);
+  const auto unused = c.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "unused");
+}
+
+TEST(ConfigFile, LoadFromDisk) {
+  const std::string path = ::testing::TempDir() + "blam_config_test.cfg";
+  {
+    std::ofstream out{path};
+    out << "answer = 42\n";
+  }
+  const ConfigFile c = ConfigFile::load(path);
+  EXPECT_EQ(c.get_int("answer", 0), 42);
+  std::remove(path.c_str());
+  EXPECT_THROW(ConfigFile::load("/nonexistent/path.cfg"), std::runtime_error);
+}
+
+TEST(ScenarioIo, DefaultsRoundTrip) {
+  const ScenarioConfig c = scenario_from_config(ConfigFile::parse(""));
+  EXPECT_EQ(c.policy, PolicyKind::kLorawan);
+  EXPECT_EQ(c.n_nodes, 100);
+  EXPECT_DOUBLE_EQ(c.theta, 1.0);
+}
+
+TEST(ScenarioIo, FullConfiguration) {
+  const ScenarioConfig c = scenario_from_config(ConfigFile::parse(R"(
+policy = blam
+theta = 0.5
+w_b = 0.7
+nodes = 250
+gateways = 3
+radius_m = 4000
+seed = 99
+min_period_min = 20
+max_period_min = 40
+utility = step
+step_deadline = 0.4
+sf_assignment = distance
+adr = true
+supercap_tx_buffer = 4
+insulated = false
+ambient_mean_c = 20
+label = my-experiment
+)"));
+  EXPECT_EQ(c.policy, PolicyKind::kBlam);
+  EXPECT_DOUBLE_EQ(c.theta, 0.5);
+  EXPECT_DOUBLE_EQ(c.w_b, 0.7);
+  EXPECT_EQ(c.n_nodes, 250);
+  EXPECT_EQ(c.n_gateways, 3);
+  EXPECT_EQ(c.seed, 99u);
+  EXPECT_EQ(c.utility, UtilityKind::kStep);
+  EXPECT_EQ(c.sf_assignment, SfAssignment::kDistanceBased);
+  EXPECT_TRUE(c.adr_enabled);
+  EXPECT_DOUBLE_EQ(c.supercap_tx_buffer, 4.0);
+  EXPECT_FALSE(c.thermal.insulated);
+  EXPECT_DOUBLE_EQ(c.thermal.mean_c, 20.0);
+  EXPECT_EQ(c.label, "my-experiment");
+}
+
+TEST(ScenarioIo, UnknownKeyRejected) {
+  EXPECT_THROW(scenario_from_config(ConfigFile::parse("nodse = 100")), std::runtime_error);
+}
+
+TEST(ScenarioIo, BadEnumRejected) {
+  EXPECT_THROW(scenario_from_config(ConfigFile::parse("policy = alohaaa")), std::runtime_error);
+  EXPECT_THROW(scenario_from_config(ConfigFile::parse("utility = cubic")), std::runtime_error);
+  EXPECT_THROW(scenario_from_config(ConfigFile::parse("sf_assignment = random")),
+               std::runtime_error);
+}
+
+TEST(ScenarioIo, InvalidScenarioRejected) {
+  EXPECT_THROW(scenario_from_config(ConfigFile::parse("nodes = 0")), std::invalid_argument);
+  EXPECT_THROW(scenario_from_config(ConfigFile::parse("policy = blam\ntheta = 0")),
+               std::invalid_argument);
+}
+
+TEST(ScenarioIo, DescribeMentionsKeyFields) {
+  ScenarioConfig c = blam_scenario(50, 0.5, 1);
+  const std::string text = describe_scenario(c);
+  EXPECT_NE(text.find("H-50"), std::string::npos);
+  EXPECT_NE(text.find("50"), std::string::npos);
+  EXPECT_NE(text.find("SF10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blam

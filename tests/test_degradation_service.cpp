@@ -1,0 +1,87 @@
+#include "core/degradation_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace blam {
+namespace {
+
+std::vector<SocSample> flat_trace(double soc, int days) {
+  std::vector<SocSample> samples;
+  for (int d = 0; d <= days; ++d) samples.push_back({Time::from_days(d), soc});
+  return samples;
+}
+
+TEST(DegradationService, UnknownNodeThrows) {
+  DegradationService svc{DegradationModel{}, 25.0};
+  EXPECT_THROW(svc.normalized_degradation(1), std::out_of_range);
+  EXPECT_THROW(svc.degradation(1), std::out_of_range);
+}
+
+TEST(DegradationService, RegisterIsIdempotent) {
+  DegradationService svc{DegradationModel{}, 25.0};
+  svc.register_node(1);
+  svc.ingest(1, flat_trace(0.8, 10));
+  svc.register_node(1);  // must not reset the tracker
+  svc.recompute(Time::from_days(10.0));
+  EXPECT_GT(svc.degradation(1), 0.0);
+  EXPECT_EQ(svc.node_count(), 1u);
+}
+
+TEST(DegradationService, FreshNodeHasZeroW) {
+  DegradationService svc{DegradationModel{}, 25.0};
+  svc.register_node(1);
+  svc.recompute(Time::zero());
+  EXPECT_DOUBLE_EQ(svc.normalized_degradation(1), 0.0);
+}
+
+TEST(DegradationService, NormalizationAgainstWorstNode) {
+  DegradationService svc{DegradationModel{}, 25.0};
+  svc.ingest(1, flat_trace(0.95, 365));  // ages fast
+  svc.ingest(2, flat_trace(0.30, 365));  // ages slowly
+  svc.recompute(Time::from_days(365.0));
+  EXPECT_DOUBLE_EQ(svc.normalized_degradation(1), 1.0);
+  const double w2 = svc.normalized_degradation(2);
+  EXPECT_GT(w2, 0.0);
+  EXPECT_LT(w2, 1.0);
+  EXPECT_DOUBLE_EQ(svc.max_degradation(), svc.degradation(1));
+  EXPECT_NEAR(w2, svc.degradation(2) / svc.degradation(1), 1e-12);
+}
+
+TEST(DegradationService, IngestAcrossMultipleReports) {
+  DegradationService svc{DegradationModel{}, 25.0};
+  // Two reports covering consecutive spans must equal one big report.
+  const auto trace = flat_trace(0.7, 20);
+  svc.ingest(1, std::span<const SocSample>{trace}.subspan(0, 10));
+  svc.ingest(1, std::span<const SocSample>{trace}.subspan(10));
+  svc.ingest(2, trace);
+  svc.recompute(Time::from_days(20.0));
+  EXPECT_NEAR(svc.degradation(1), svc.degradation(2), 1e-15);
+}
+
+TEST(DegradationService, RecomputeUpdatesOverTime) {
+  DegradationService svc{DegradationModel{}, 25.0};
+  svc.ingest(1, flat_trace(0.8, 30));
+  svc.recompute(Time::from_days(30.0));
+  const double early = svc.degradation(1);
+  svc.ingest(1, {{SocSample{Time::from_days(300.0), 0.8}}});
+  svc.recompute(Time::from_days(300.0));
+  EXPECT_GT(svc.degradation(1), early);
+}
+
+TEST(DegradationService, CyclingNodeDegradesFasterThanIdleAtSameMean) {
+  DegradationService svc{DegradationModel{}, 25.0};
+  // Node 1 idles at 0.5; node 2 cycles 0.1 <-> 0.9 (same time-mean SoC).
+  std::vector<SocSample> cycling;
+  for (int d = 0; d <= 364; ++d) {
+    cycling.push_back({Time::from_days(d), d % 2 == 0 ? 0.1 : 0.9});
+  }
+  svc.ingest(1, flat_trace(0.5, 364));
+  svc.ingest(2, cycling);
+  svc.recompute(Time::from_days(364.0));
+  EXPECT_GT(svc.degradation(2), svc.degradation(1));
+}
+
+}  // namespace
+}  // namespace blam

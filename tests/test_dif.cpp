@@ -1,0 +1,49 @@
+#include "core/dif.hpp"
+
+#include <gtest/gtest.h>
+
+namespace blam {
+namespace {
+
+Energy J(double j) { return Energy::from_joules(j); }
+
+TEST(Dif, ZeroWhenHarvestCoversCost) {
+  // Paper Eq. 15: if e_tx <= E_g the SoC does not decrease -> DIF = 0.
+  EXPECT_DOUBLE_EQ(degradation_impact_factor(J(1.0), J(1.0), J(10.0)), 0.0);
+  EXPECT_DOUBLE_EQ(degradation_impact_factor(J(1.0), J(5.0), J(10.0)), 0.0);
+  EXPECT_DOUBLE_EQ(degradation_impact_factor(J(0.0), J(0.0), J(10.0)), 0.0);
+}
+
+TEST(Dif, DeficitNormalizedByMaxTx) {
+  EXPECT_DOUBLE_EQ(degradation_impact_factor(J(6.0), J(1.0), J(10.0)), 0.5);
+  EXPECT_DOUBLE_EQ(degradation_impact_factor(J(10.0), J(0.0), J(10.0)), 1.0);
+  EXPECT_DOUBLE_EQ(degradation_impact_factor(J(2.5), J(0.5), J(8.0)), 0.25);
+}
+
+TEST(Dif, ClampedToOne) {
+  // An EWMA warm-up estimate can exceed the nominal worst case.
+  EXPECT_DOUBLE_EQ(degradation_impact_factor(J(30.0), J(0.0), J(10.0)), 1.0);
+}
+
+TEST(Dif, MonotoneInCostAntitoneInHarvest) {
+  double prev = -1.0;
+  for (double cost : {0.0, 2.0, 4.0, 6.0, 8.0}) {
+    const double d = degradation_impact_factor(J(cost), J(1.0), J(10.0));
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+  prev = 2.0;
+  for (double harvest : {0.0, 1.0, 3.0, 5.0, 7.0}) {
+    const double d = degradation_impact_factor(J(5.0), J(harvest), J(10.0));
+    EXPECT_LE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Dif, RequiresPositiveNormalizer) {
+  EXPECT_THROW(degradation_impact_factor(J(1.0), J(1.0), J(0.0)), std::invalid_argument);
+  EXPECT_THROW(degradation_impact_factor(J(1.0), J(1.0), J(-1.0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blam

@@ -1,0 +1,68 @@
+#include "forecast/ewma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace blam {
+namespace {
+
+TEST(Ewma, ValidatesBeta) {
+  EXPECT_THROW(Ewma{-0.1}, std::invalid_argument);
+  EXPECT_THROW(Ewma{1.1}, std::invalid_argument);
+}
+
+TEST(Ewma, FallbackBeforeFirstObservation) {
+  Ewma e{0.3};
+  EXPECT_FALSE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value_or(7.0), 7.0);
+}
+
+TEST(Ewma, FirstObservationInitializes) {
+  Ewma e{0.3};
+  e.observe(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value_or(0.0), 10.0);
+}
+
+TEST(Ewma, PaperEquation13) {
+  // e[p] = beta * x + (1 - beta) * e[p-1]
+  Ewma e{0.25};
+  e.observe(10.0);
+  e.observe(20.0);
+  EXPECT_DOUBLE_EQ(e.value_or(0.0), 0.25 * 20.0 + 0.75 * 10.0);
+  e.observe(0.0);
+  EXPECT_DOUBLE_EQ(e.value_or(0.0), 0.75 * 12.5);
+}
+
+TEST(Ewma, BetaOneTracksExactly) {
+  Ewma e{1.0};
+  e.observe(3.0);
+  e.observe(9.0);
+  EXPECT_DOUBLE_EQ(e.value_or(0.0), 9.0);
+}
+
+TEST(Ewma, BetaZeroFreezesAfterInit) {
+  Ewma e{0.0};
+  e.observe(3.0);
+  e.observe(100.0);
+  EXPECT_DOUBLE_EQ(e.value_or(0.0), 3.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e{0.3};
+  e.observe(0.0);
+  for (int i = 0; i < 100; ++i) e.observe(5.0);
+  EXPECT_NEAR(e.value_or(0.0), 5.0, 1e-9);
+}
+
+TEST(Ewma, StaysWithinObservedRange) {
+  Ewma e{0.4};
+  e.observe(2.0);
+  for (double x : {4.0, 1.0, 3.0, 2.5, 0.5, 4.5}) {
+    e.observe(x);
+    EXPECT_GE(e.value_or(0.0), 0.5);
+    EXPECT_LE(e.value_or(0.0), 4.5);
+  }
+}
+
+}  // namespace
+}  // namespace blam

@@ -1,0 +1,74 @@
+// Tests for the experiment runners that every bench binary builds on.
+#include "net/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace blam {
+namespace {
+
+TEST(Experiment, RunScenarioProducesCompleteResult) {
+  const ScenarioConfig c = lorawan_scenario(8, 71);
+  const ExperimentResult r = run_scenario(c, Time::from_days(1.0));
+  EXPECT_EQ(r.label, "LoRaWAN");
+  EXPECT_EQ(r.nodes.size(), 8u);
+  EXPECT_GT(r.events_executed, 0u);
+  EXPECT_FALSE(r.window_histogram.empty());
+  EXPECT_GT(r.summary.mean_prr, 0.0);
+}
+
+TEST(Experiment, SharedTraceIsActuallyShared) {
+  const ScenarioConfig c = lorawan_scenario(5, 72);
+  const auto trace = build_shared_trace(c);
+  ASSERT_NE(trace, nullptr);
+  // Using the shared trace gives identical weather; the use_count grows.
+  const long before = trace.use_count();
+  const ExperimentResult r = run_scenario(c, Time::from_hours(6.0), trace);
+  EXPECT_GT(r.summary.mean_prr, 0.0);
+  EXPECT_EQ(trace.use_count(), before);  // network released its reference
+}
+
+TEST(Experiment, SharedVsOwnTraceDiffer) {
+  // Without sharing, a different seed synthesizes different weather, so
+  // paired comparisons would be noisier; verify the mechanism by comparing
+  // total harvest-driven TX energy across seeds.
+  ScenarioConfig a = lorawan_scenario(5, 73);
+  ScenarioConfig b = lorawan_scenario(5, 74);
+  const ExperimentResult ra = run_scenario(a, Time::from_days(2.0));
+  const ExperimentResult rb = run_scenario(b, Time::from_days(2.0));
+  EXPECT_NE(ra.events_executed, rb.events_executed);
+}
+
+TEST(Experiment, RunUntilEolHonorsMaxDuration) {
+  // Fresh batteries cannot reach EoL in a week: the runner must stop at the
+  // horizon and say so.
+  const ScenarioConfig c = lorawan_scenario(4, 75);
+  const LifespanResult r =
+      run_until_eol(c, Time::from_days(7.0), Time::from_days(1.0));
+  EXPECT_FALSE(r.reached_eol);
+  EXPECT_EQ(r.lifespan, Time::from_days(7.0));
+  EXPECT_EQ(r.max_degradation_series.size(), 7u);
+  EXPECT_EQ(r.series_step, Time::from_days(1.0));
+}
+
+TEST(Experiment, LifespanSeriesIsMonotone) {
+  ScenarioConfig c = lorawan_scenario(4, 76);
+  c.degradation.k1 *= 100.0;  // accelerate so degradation is visible
+  const LifespanResult r =
+      run_until_eol(c, Time::from_days(30.0), Time::from_days(2.0));
+  for (std::size_t i = 1; i < r.max_degradation_series.size(); ++i) {
+    EXPECT_GE(r.max_degradation_series[i], r.max_degradation_series[i - 1]);
+  }
+}
+
+TEST(Experiment, EolQuantizedToStep) {
+  ScenarioConfig c = lorawan_scenario(3, 77);
+  c.degradation.k1 = 4.14e-7;  // very fast aging
+  const Time step = Time::from_days(3.0);
+  const LifespanResult r = run_until_eol(c, Time::from_days(90.0), step);
+  ASSERT_TRUE(r.reached_eol);
+  EXPECT_EQ(r.lifespan.us() % step.us(), 0);
+  EXPECT_GE(r.max_degradation_series.back(), c.degradation.eol_threshold);
+}
+
+}  // namespace
+}  // namespace blam

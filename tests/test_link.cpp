@@ -1,0 +1,97 @@
+#include "lora/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace blam {
+namespace {
+
+TEST(Position, Distance) {
+  const Position a{0.0, 0.0};
+  const Position b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.distance_to(b), 5.0);
+  EXPECT_DOUBLE_EQ(b.distance_to(a), 5.0);
+  EXPECT_DOUBLE_EQ(a.distance_to(a), 0.0);
+}
+
+TEST(PathLoss, ReferencePointAndSlope) {
+  PathLossModel model;  // defaults: 7.7 dB at 1 m, exponent 3.76
+  EXPECT_DOUBLE_EQ(model.path_loss_db(1.0), 7.7);
+  // One decade adds 10 * 3.76 dB.
+  EXPECT_NEAR(model.path_loss_db(10.0) - model.path_loss_db(1.0), 37.6, 1e-9);
+  EXPECT_NEAR(model.path_loss_db(100.0) - model.path_loss_db(10.0), 37.6, 1e-9);
+}
+
+TEST(PathLoss, ClampsBelowReferenceDistance) {
+  PathLossModel model;
+  EXPECT_DOUBLE_EQ(model.path_loss_db(0.1), model.path_loss_db(1.0));
+  EXPECT_DOUBLE_EQ(model.path_loss_db(0.0), 7.7);
+}
+
+TEST(Link, NoShadowingIsDeterministic) {
+  PathLossModel model;
+  Rng rng{1};
+  const Link link{Position{3000.0, 4000.0}, Position{0.0, 0.0}, model, rng};
+  EXPECT_DOUBLE_EQ(link.distance_m(), 5000.0);
+  EXPECT_NEAR(link.total_loss_db(), model.path_loss_db(5000.0), 1e-12);
+}
+
+TEST(Link, RxPowerIsTxMinusLoss) {
+  PathLossModel model;
+  Rng rng{1};
+  const Link link{Position{1000.0, 0.0}, Position{0.0, 0.0}, model, rng};
+  EXPECT_NEAR(link.rx_power_dbm(14.0), 14.0 - link.total_loss_db(), 1e-12);
+}
+
+TEST(Link, ShadowingVariesAcrossLinks) {
+  PathLossModel model;
+  model.shadowing_sigma_db = 8.0;
+  Rng rng{7};
+  const Position gw{0.0, 0.0};
+  const Position dev{1000.0, 0.0};
+  const Link a{dev, gw, model, rng};
+  const Link b{dev, gw, model, rng};
+  EXPECT_NE(a.total_loss_db(), b.total_loss_db());
+}
+
+TEST(Link, MinSfPicksSmallestThatCloses) {
+  PathLossModel model;
+  Rng rng{1};
+  // Close node: SF7 closes easily.
+  const Link near{Position{100.0, 0.0}, Position{0.0, 0.0}, model, rng};
+  EXPECT_EQ(near.min_spreading_factor(14.0), SpreadingFactor::kSF7);
+
+  // 5 km, exponent 3.76: loss ~146.6 dB, rx ~-132.6 dBm -> needs SF8
+  // (gateway sensitivity -132.5 just misses; SF8 is -132.5... compute).
+  const Link far{Position{5000.0, 0.0}, Position{0.0, 0.0}, model, rng};
+  const auto sf = far.min_spreading_factor(14.0);
+  ASSERT_TRUE(sf.has_value());
+  EXPECT_GT(sf_value(*sf), sf_value(SpreadingFactor::kSF7));
+  // The chosen SF actually closes the link ...
+  EXPECT_GE(far.rx_power_dbm(14.0), gateway_sensitivity_dbm(*sf));
+  // ... and the next lower SF does not.
+  if (*sf != SpreadingFactor::kSF7) {
+    const auto lower = sf_from_value(sf_value(*sf) - 1);
+    EXPECT_LT(far.rx_power_dbm(14.0), gateway_sensitivity_dbm(lower));
+  }
+}
+
+TEST(Link, MinSfRespectsMargin) {
+  PathLossModel model;
+  Rng rng{1};
+  const Link link{Position{4000.0, 0.0}, Position{0.0, 0.0}, model, rng};
+  const auto no_margin = link.min_spreading_factor(14.0, 0.0);
+  const auto with_margin = link.min_spreading_factor(14.0, 10.0);
+  ASSERT_TRUE(no_margin.has_value());
+  ASSERT_TRUE(with_margin.has_value());
+  EXPECT_GE(sf_value(*with_margin), sf_value(*no_margin));
+}
+
+TEST(Link, ImpossibleLinkReturnsNullopt) {
+  PathLossModel model;
+  Rng rng{1};
+  const Link link{Position{500000.0, 0.0}, Position{0.0, 0.0}, model, rng};  // 500 km
+  EXPECT_FALSE(link.min_spreading_factor(14.0).has_value());
+}
+
+}  // namespace
+}  // namespace blam

@@ -1,0 +1,43 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace blam {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Log::set_level(LogLevel::kWarn); }  // restore default
+};
+
+TEST_F(LogTest, LevelGating) {
+  Log::set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+
+  Log::set_level(LogLevel::kDebug);
+  EXPECT_TRUE(Log::enabled(LogLevel::kDebug));
+
+  Log::set_level(LogLevel::kOff);
+  EXPECT_FALSE(Log::enabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, LevelRoundTrips) {
+  Log::set_level(LogLevel::kInfo);
+  EXPECT_EQ(Log::level(), LogLevel::kInfo);
+}
+
+TEST_F(LogTest, EmittingDoesNotCrash) {
+  Log::set_level(LogLevel::kDebug);
+  Log::debug("plain message");
+  Log::info("formatted %d %s", 42, "ok");
+  Log::warn("warn %f", 1.5);
+  Log::error("error");
+  Log::set_level(LogLevel::kOff);
+  Log::error("suppressed %d", 1);
+}
+
+}  // namespace
+}  // namespace blam

@@ -1,0 +1,104 @@
+#include "net/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace blam {
+namespace {
+
+TEST(NodeMetrics, RatesHandleZeroGenerated) {
+  NodeMetrics m;
+  EXPECT_DOUBLE_EQ(m.prr(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_utility(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_retx(), 0.0);
+  EXPECT_EQ(m.majority_window(), -1);
+}
+
+TEST(NodeMetrics, RatesComputeCorrectly) {
+  NodeMetrics m;
+  m.generated = 10;
+  m.delivered = 8;
+  m.retx = 5;
+  m.utility_sum = 6.0;
+  EXPECT_DOUBLE_EQ(m.prr(), 0.8);
+  EXPECT_DOUBLE_EQ(m.avg_utility(), 0.6);
+  EXPECT_DOUBLE_EQ(m.avg_retx(), 0.5);
+}
+
+TEST(NodeMetrics, MajorityWindow) {
+  NodeMetrics m;
+  m.count_window(2);
+  m.count_window(2);
+  m.count_window(0);
+  EXPECT_EQ(m.majority_window(), 2);
+  m.count_window(0);
+  m.count_window(0);
+  EXPECT_EQ(m.majority_window(), 0);
+  // Growing the histogram on demand.
+  m.count_window(7);
+  EXPECT_EQ(m.window_counts.size(), 8u);
+  // Negative windows ignored.
+  m.count_window(-1);
+  EXPECT_EQ(m.majority_window(), 0);
+}
+
+TEST(Metrics, SummaryAggregates) {
+  Metrics metrics{2};
+  NodeMetrics& a = metrics.node(0);
+  a.generated = 10;
+  a.delivered = 10;
+  a.utility_sum = 10.0;
+  a.retx = 0;
+  a.tx_energy = Energy::from_joules(1.0);
+  a.latency_s.add(1.0);
+  a.degradation = 0.10;
+  NodeMetrics& b = metrics.node(1);
+  b.generated = 10;
+  b.delivered = 5;
+  b.utility_sum = 4.0;
+  b.retx = 20;
+  b.tx_energy = Energy::from_joules(3.0);
+  b.latency_s.add(9.0);
+  b.degradation = 0.20;
+
+  const NetworkSummary s = metrics.summarize();
+  EXPECT_DOUBLE_EQ(s.mean_prr, 0.75);
+  EXPECT_DOUBLE_EQ(s.min_prr, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_utility, 0.7);
+  EXPECT_DOUBLE_EQ(s.mean_retx, 1.0);
+  EXPECT_DOUBLE_EQ(s.total_tx_energy.joules(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_latency_s, 5.0);
+  EXPECT_DOUBLE_EQ(s.max_latency_s, 9.0);
+  EXPECT_DOUBLE_EQ(s.max_degradation, 0.20);
+  EXPECT_DOUBLE_EQ(s.degradation_box.mean, 0.15);
+}
+
+TEST(Metrics, MajorityWindowHistogram) {
+  Metrics metrics{3};
+  metrics.node(0).count_window(0);
+  metrics.node(1).count_window(2);
+  metrics.node(1).count_window(2);
+  // Node 2 never transmits.
+  const auto histogram = metrics.majority_window_histogram(4);
+  ASSERT_EQ(histogram.size(), 4u);
+  EXPECT_EQ(histogram[0], 1);
+  EXPECT_EQ(histogram[1], 0);
+  EXPECT_EQ(histogram[2], 1);
+  EXPECT_EQ(histogram[3], 0);
+}
+
+TEST(Metrics, HistogramClampsWideWindows) {
+  Metrics metrics{1};
+  metrics.node(0).count_window(10);
+  const auto histogram = metrics.majority_window_histogram(4);
+  EXPECT_EQ(histogram[3], 1);  // clamped into the last bin
+}
+
+TEST(Metrics, EmptySummary) {
+  Metrics metrics{0};
+  const NetworkSummary s = metrics.summarize();
+  EXPECT_DOUBLE_EQ(s.mean_prr, 0.0);
+  EXPECT_DOUBLE_EQ(s.total_tx_energy.joules(), 0.0);
+}
+
+}  // namespace
+}  // namespace blam

@@ -1,0 +1,97 @@
+// Multi-gateway deployments ("one or more gateways", paper Sec. II-C):
+// every gateway hears every uplink at its own receive power; the network
+// server picks the strongest copy and ACKs through that gateway.
+#include <gtest/gtest.h>
+
+#include "net/experiment.hpp"
+#include "net/network.hpp"
+
+namespace blam {
+namespace {
+
+ScenarioConfig scenario(int n_gateways, int nodes = 25, std::uint64_t seed = 17) {
+  ScenarioConfig c = lorawan_scenario(nodes, seed);
+  c.n_gateways = n_gateways;
+  return c;
+}
+
+TEST(MultiGateway, ConfigValidation) {
+  ScenarioConfig c = scenario(0);
+  EXPECT_THROW(Network{c}, std::invalid_argument);
+  c = scenario(3);
+  c.gateway_ring_fraction = 1.5;
+  EXPECT_THROW(Network{c}, std::invalid_argument);
+}
+
+TEST(MultiGateway, BuildsRequestedGateways) {
+  Network one{scenario(1)};
+  EXPECT_EQ(one.gateways().size(), 1u);
+  EXPECT_DOUBLE_EQ(one.gateways()[0]->position().x_m, 0.0);
+
+  Network four{scenario(4)};
+  EXPECT_EQ(four.gateways().size(), 4u);
+  // Ring placement: all at the configured fraction of the radius.
+  for (const auto& gw : four.gateways()) {
+    EXPECT_NEAR(gw->position().distance_to(Position{0.0, 0.0}), 2500.0, 1.0);
+  }
+}
+
+TEST(MultiGateway, EveryGatewayHearsEveryAttempt) {
+  ScenarioConfig c = scenario(3, 10);
+  Network network{c};
+  network.run_until(Time::from_days(1.0));
+  network.finalize_metrics();
+  std::uint64_t attempts = 0;
+  for (std::size_t i = 0; i < network.metrics().node_count(); ++i) {
+    attempts += network.metrics().node(i).tx_attempts;
+  }
+  EXPECT_EQ(network.metrics().gateway().arrivals, attempts * 3);
+}
+
+TEST(MultiGateway, StillDeliversAndAcks) {
+  const ExperimentResult r = run_scenario(scenario(3, 10), Time::from_days(1.0));
+  EXPECT_GT(r.summary.mean_prr, 0.95);
+  EXPECT_GT(r.gateway.acks_sent, 0u);
+}
+
+TEST(MultiGateway, DeterministicAcrossRuns) {
+  const ExperimentResult a = run_scenario(scenario(3, 10), Time::from_days(1.0));
+  const ExperimentResult b = run_scenario(scenario(3, 10), Time::from_days(1.0));
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].delivered, b.nodes[i].delivered);
+  }
+}
+
+TEST(MultiGateway, DiversityHelpsEdgeNodesUnderDistanceBasedSf) {
+  // With distance-based SF and a large, shadowed area, gateway diversity
+  // lowers the SF mix (closer best-gateway) and cannot hurt PRR.
+  auto config_for = [](int gateways) {
+    ScenarioConfig c = lorawan_scenario(40, 21);
+    c.n_gateways = gateways;
+    c.radius_m = 7000.0;
+    c.sf_assignment = SfAssignment::kDistanceBased;
+    c.path_loss.shadowing_sigma_db = 6.0;
+    return c;
+  };
+  Network single{config_for(1)};
+  Network triple{config_for(3)};
+  double sf_sum_single = 0.0;
+  double sf_sum_triple = 0.0;
+  for (const auto& node : single.nodes()) sf_sum_single += sf_value(node->sf());
+  for (const auto& node : triple.nodes()) sf_sum_triple += sf_value(node->sf());
+  EXPECT_LE(sf_sum_triple, sf_sum_single);
+}
+
+TEST(MultiGateway, NodeTracksPerGatewayLosses) {
+  Network network{scenario(3, 5)};
+  for (const auto& node : network.nodes()) {
+    double best = 1e300;
+    for (int g = 0; g < 3; ++g) best = std::min(best, node->link_loss_db(g));
+    EXPECT_DOUBLE_EQ(best, node->min_link_loss_db());
+    EXPECT_THROW(node->link_loss_db(3), std::out_of_range);
+  }
+}
+
+}  // namespace
+}  // namespace blam

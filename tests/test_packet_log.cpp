@@ -1,0 +1,97 @@
+#include "net/packet_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "net/experiment.hpp"
+#include "net/network.hpp"
+
+namespace blam {
+namespace {
+
+TEST(PacketLog, RecordsAndFilters) {
+  PacketLog log;
+  log.record({Time::from_seconds(1.0), 1, 10, -1, 0, PacketEventKind::kGenerated});
+  log.record({Time::from_seconds(1.1), 1, 10, 0, 0, PacketEventKind::kTxStart});
+  log.record({Time::from_seconds(2.0), 1, 10, 0, 0, PacketEventKind::kDelivered});
+  log.record({Time::from_seconds(3.0), 2, 5, -1, 1, PacketEventKind::kGenerated});
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.count(PacketEventKind::kGenerated), 2u);
+  EXPECT_EQ(log.count(PacketEventKind::kDelivered), 1u);
+  EXPECT_EQ(log.count(PacketEventKind::kBrownout), 0u);
+  const auto history = log.history(1, 10);
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].kind, PacketEventKind::kGenerated);
+  EXPECT_EQ(history[2].kind, PacketEventKind::kDelivered);
+  EXPECT_TRUE(log.history(9, 9).empty());
+}
+
+TEST(PacketLog, KindNames) {
+  EXPECT_STREQ(to_string(PacketEventKind::kGenerated), "generated");
+  EXPECT_STREQ(to_string(PacketEventKind::kDutyDefer), "duty_defer");
+  EXPECT_STREQ(to_string(PacketEventKind::kExhausted), "exhausted");
+}
+
+TEST(PacketLog, DisabledByDefault) {
+  Network network{lorawan_scenario(3, 51)};
+  EXPECT_EQ(network.packet_log(), nullptr);
+}
+
+TEST(PacketLog, LiveNetworkEventsAreConsistent) {
+  ScenarioConfig c = lorawan_scenario(10, 52);
+  c.packet_log = true;
+  Network network{c};
+  network.run_until(Time::from_days(1.0));
+  network.finalize_metrics();
+  ASSERT_NE(network.packet_log(), nullptr);
+  const PacketLog& log = *network.packet_log();
+
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t tx = 0;
+  for (std::size_t i = 0; i < network.metrics().node_count(); ++i) {
+    generated += network.metrics().node(i).generated;
+    delivered += network.metrics().node(i).delivered;
+    tx += network.metrics().node(i).tx_attempts;
+  }
+  EXPECT_EQ(log.count(PacketEventKind::kGenerated), generated);
+  EXPECT_EQ(log.count(PacketEventKind::kDelivered), delivered);
+  EXPECT_EQ(log.count(PacketEventKind::kTxStart), tx);
+
+  // Event times are non-decreasing (the log is append-only in sim order).
+  Time prev = Time::zero();
+  for (const PacketEvent& e : log.events()) {
+    EXPECT_GE(e.at, prev);
+    prev = e.at;
+  }
+
+  // A delivered packet's history reads generated -> tx -> ... -> delivered.
+  for (const PacketEvent& e : log.events()) {
+    if (e.kind != PacketEventKind::kDelivered) continue;
+    const auto history = log.history(e.node, e.seq);
+    ASSERT_GE(history.size(), 3u);
+    EXPECT_EQ(history.front().kind, PacketEventKind::kGenerated);
+    EXPECT_EQ(history.back().kind, PacketEventKind::kDelivered);
+    break;
+  }
+}
+
+TEST(PacketLog, CsvExport) {
+  PacketLog log;
+  log.record({Time::from_seconds(1.0), 1, 10, -1, 0, PacketEventKind::kGenerated});
+  const std::string path = ::testing::TempDir() + "packet_log_test.csv";
+  log.write_csv(path);
+  std::ifstream in{path};
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "time_s,node,seq,attempt,window,kind");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_NE(row.find("generated"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace blam

@@ -1,0 +1,91 @@
+#include "energy/power_switch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace blam {
+namespace {
+
+TEST(PowerSwitch, ValidatesSocCap) {
+  Battery b{Energy::from_joules(100.0), 0.5};
+  EXPECT_THROW(PowerSwitch(b, -0.1), std::invalid_argument);
+  EXPECT_THROW(PowerSwitch(b, 1.1), std::invalid_argument);
+  PowerSwitch sw{b, 0.5};
+  EXPECT_THROW(sw.set_soc_cap(2.0), std::invalid_argument);
+}
+
+TEST(PowerSwitch, GreenCoversDemandSurplusCharges) {
+  Battery b{Energy::from_joules(100.0), 0.5};
+  PowerSwitch sw{b, 1.0};
+  const PowerFlow flow = sw.apply(Energy::from_joules(30.0), Energy::from_joules(10.0));
+  EXPECT_DOUBLE_EQ(flow.from_green.joules(), 10.0);
+  EXPECT_DOUBLE_EQ(flow.from_battery.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(flow.charged.joules(), 20.0);
+  EXPECT_DOUBLE_EQ(flow.wasted.joules(), 0.0);
+  EXPECT_FALSE(flow.brownout());
+  EXPECT_DOUBLE_EQ(b.soc(), 0.7);
+}
+
+TEST(PowerSwitch, SurplusBeyondThetaIsWasted) {
+  Battery b{Energy::from_joules(100.0), 0.45};
+  PowerSwitch sw{b, 0.5};
+  const PowerFlow flow = sw.apply(Energy::from_joules(20.0), Energy::from_joules(0.0));
+  EXPECT_DOUBLE_EQ(flow.charged.joules(), 5.0);   // up to theta = 50 J
+  EXPECT_DOUBLE_EQ(flow.wasted.joules(), 15.0);
+  EXPECT_DOUBLE_EQ(b.soc(), 0.5);
+}
+
+TEST(PowerSwitch, DeficitDrawsFromBattery) {
+  Battery b{Energy::from_joules(100.0), 0.5};
+  PowerSwitch sw{b, 1.0};
+  const PowerFlow flow = sw.apply(Energy::from_joules(4.0), Energy::from_joules(10.0));
+  EXPECT_DOUBLE_EQ(flow.from_green.joules(), 4.0);
+  EXPECT_DOUBLE_EQ(flow.from_battery.joules(), 6.0);
+  EXPECT_FALSE(flow.brownout());
+  EXPECT_DOUBLE_EQ(b.stored().joules(), 44.0);
+}
+
+TEST(PowerSwitch, BrownoutWhenBatteryEmpty) {
+  Battery b{Energy::from_joules(100.0), 0.02};
+  PowerSwitch sw{b, 1.0};
+  const PowerFlow flow = sw.apply(Energy::from_joules(1.0), Energy::from_joules(10.0));
+  EXPECT_DOUBLE_EQ(flow.from_green.joules(), 1.0);
+  EXPECT_DOUBLE_EQ(flow.from_battery.joules(), 2.0);
+  EXPECT_DOUBLE_EQ(flow.deficit.joules(), 7.0);
+  EXPECT_TRUE(flow.brownout());
+  EXPECT_DOUBLE_EQ(b.stored().joules(), 0.0);
+}
+
+TEST(PowerSwitch, EnergyConservation) {
+  // green in == to-load + charged + wasted; battery delta == charged - drawn.
+  Battery b{Energy::from_joules(100.0), 0.4};
+  PowerSwitch sw{b, 0.8};
+  for (double harvest : {0.0, 5.0, 20.0, 60.0}) {
+    for (double demand : {0.0, 3.0, 12.0, 45.0}) {
+      const double before = b.stored().joules();
+      const PowerFlow f = sw.apply(Energy::from_joules(harvest), Energy::from_joules(demand));
+      EXPECT_NEAR(f.from_green.joules() + f.charged.joules() + f.wasted.joules(), harvest, 1e-9);
+      EXPECT_NEAR(f.from_green.joules() + f.from_battery.joules() + f.deficit.joules(), demand,
+                  1e-9);
+      EXPECT_NEAR(b.stored().joules() - before, f.charged.joules() - f.from_battery.joules(),
+                  1e-9);
+    }
+  }
+}
+
+TEST(PowerSwitch, RejectsNegativeEnergy) {
+  Battery b{Energy::from_joules(100.0), 0.5};
+  PowerSwitch sw{b, 1.0};
+  EXPECT_THROW(sw.apply(Energy::from_joules(-1.0), Energy::zero()), std::invalid_argument);
+  EXPECT_THROW(sw.apply(Energy::zero(), Energy::from_joules(-1.0)), std::invalid_argument);
+}
+
+TEST(PowerSwitch, ZeroThetaNeverCharges) {
+  Battery b{Energy::from_joules(100.0), 0.0};
+  PowerSwitch sw{b, 0.0};
+  const PowerFlow f = sw.apply(Energy::from_joules(50.0), Energy::zero());
+  EXPECT_DOUBLE_EQ(f.charged.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(f.wasted.joules(), 50.0);
+}
+
+}  // namespace
+}  // namespace blam

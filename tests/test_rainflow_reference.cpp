@@ -1,0 +1,133 @@
+// Cross-validation of the streaming rainflow counter against an
+// independent, buffered offline implementation of the same ASTM E1049
+// four-point rule, over randomized SoC walks. The offline version commits
+// turning points with the same rule (a sample becomes a turning point when
+// the direction changes; the final sample stays provisional) but processes
+// the whole trace at once with separate bookkeeping, so it cross-checks the
+// streaming collapse logic rather than re-running it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "degradation/rainflow.hpp"
+
+namespace blam {
+namespace {
+
+struct OfflineResult {
+  std::vector<RainflowCycle> full;
+  std::vector<RainflowCycle> half;
+};
+
+// Committed turning points + the provisional final sample (if any trace).
+struct TurningPoints {
+  std::vector<double> committed;
+  bool has_provisional{false};
+  double provisional{0.0};
+};
+
+TurningPoints turning_points(const std::vector<double>& samples) {
+  TurningPoints out;
+  bool has_last = false;
+  double last = 0.0;
+  double prev_direction = 0.0;
+  for (double s : samples) {
+    if (!has_last) {
+      last = s;
+      has_last = true;
+      continue;
+    }
+    const double diff = s - last;
+    if (diff == 0.0) continue;
+    const double direction = diff > 0.0 ? 1.0 : -1.0;
+    if (prev_direction == 0.0 || direction != prev_direction) {
+      out.committed.push_back(last);
+    }
+    prev_direction = direction;
+    last = s;
+  }
+  if (has_last && prev_direction != 0.0) {
+    out.has_provisional = true;
+    out.provisional = last;
+  }
+  return out;
+}
+
+OfflineResult offline_rainflow(const std::vector<double>& samples) {
+  OfflineResult result;
+  const TurningPoints points = turning_points(samples);
+  std::vector<double> stack;
+  for (double point : points.committed) {
+    stack.push_back(point);
+    while (stack.size() >= 4) {
+      const std::size_t n = stack.size();
+      const double r1 = std::abs(stack[n - 3] - stack[n - 4]);
+      const double r2 = std::abs(stack[n - 2] - stack[n - 3]);
+      const double r3 = std::abs(stack[n - 1] - stack[n - 2]);
+      if (r2 > r1 || r2 > r3) break;
+      result.full.push_back(RainflowCycle{r2, 0.5 * (stack[n - 3] + stack[n - 2]), 1.0});
+      stack[n - 3] = stack[n - 1];
+      stack.resize(n - 2);
+    }
+  }
+  if (points.has_provisional &&
+      (stack.empty() || stack.back() != points.provisional)) {
+    stack.push_back(points.provisional);
+  }
+  for (std::size_t i = 1; i < stack.size(); ++i) {
+    result.half.push_back(
+        RainflowCycle{std::abs(stack[i] - stack[i - 1]), 0.5 * (stack[i] + stack[i - 1]), 0.5});
+  }
+  return result;
+}
+
+class RainflowReferenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RainflowReferenceTest, StreamingMatchesOffline) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 131 + 7};
+  const int length = 200 + GetParam() * 137;
+
+  std::vector<double> samples;
+  double soc = 0.5;
+  for (int i = 0; i < length; ++i) {
+    soc = std::min(1.0, std::max(0.0, soc + rng.uniform(-0.15, 0.15)));
+    samples.push_back(soc);
+  }
+
+  std::vector<RainflowCycle> streaming_full;
+  RainflowCounter counter{[&](const RainflowCycle& c) { streaming_full.push_back(c); }};
+  for (double s : samples) counter.push(s);
+  std::vector<RainflowCycle> streaming_half;
+  counter.for_each_residual([&](const RainflowCycle& c) { streaming_half.push_back(c); });
+
+  const OfflineResult reference = offline_rainflow(samples);
+
+  ASSERT_EQ(streaming_full.size(), reference.full.size());
+  for (std::size_t i = 0; i < streaming_full.size(); ++i) {
+    EXPECT_NEAR(streaming_full[i].range, reference.full[i].range, 1e-12) << "cycle " << i;
+    EXPECT_NEAR(streaming_full[i].mean, reference.full[i].mean, 1e-12) << "cycle " << i;
+  }
+
+  ASSERT_EQ(streaming_half.size(), reference.half.size());
+  for (std::size_t i = 0; i < streaming_half.size(); ++i) {
+    EXPECT_NEAR(streaming_half[i].range, reference.half[i].range, 1e-12) << "half " << i;
+    EXPECT_NEAR(streaming_half[i].mean, reference.half[i].mean, 1e-12) << "half " << i;
+  }
+
+  // The aggregate the degradation model consumes.
+  auto weighted = [](const std::vector<RainflowCycle>& cycles) {
+    double sum = 0.0;
+    for (const auto& c : cycles) sum += c.weight * c.range * c.mean;
+    return sum;
+  };
+  EXPECT_NEAR(weighted(streaming_full) + weighted(streaming_half),
+              weighted(reference.full) + weighted(reference.half), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWalks, RainflowReferenceTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace blam

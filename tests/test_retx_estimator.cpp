@@ -1,0 +1,82 @@
+#include "forecast/retx_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace blam {
+namespace {
+
+TEST(RetxEstimator, ValidatesConstruction) {
+  EXPECT_THROW(RetxEstimator(0), std::invalid_argument);
+  EXPECT_THROW(RetxEstimator(4, -1), std::invalid_argument);
+}
+
+TEST(RetxEstimator, OptimisticPriorForUnseenWindows) {
+  RetxEstimator e{4};
+  for (std::size_t w = 0; w < 4; ++w) {
+    EXPECT_DOUBLE_EQ(e.expected_transmissions(w), 1.0);
+    EXPECT_DOUBLE_EQ(e.probability_at_most(0, w), 1.0);
+    EXPECT_EQ(e.selections(w), 0u);
+  }
+}
+
+TEST(RetxEstimator, Equation14Cdf) {
+  RetxEstimator e{2};
+  // Window 0: observed retx counts {0, 0, 1, 3}.
+  e.record(0, 0);
+  e.record(0, 0);
+  e.record(0, 1);
+  e.record(0, 3);
+  EXPECT_DOUBLE_EQ(e.probability_at_most(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(e.probability_at_most(1, 0), 0.75);
+  EXPECT_DOUBLE_EQ(e.probability_at_most(2, 0), 0.75);
+  EXPECT_DOUBLE_EQ(e.probability_at_most(3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(e.probability_at_most(7, 0), 1.0);
+  EXPECT_DOUBLE_EQ(e.probability_at_most(-1, 0), 0.0);
+}
+
+TEST(RetxEstimator, ExpectedTransmissions) {
+  RetxEstimator e{2};
+  e.record(1, 0);
+  e.record(1, 2);
+  e.record(1, 4);
+  EXPECT_DOUBLE_EQ(e.expected_transmissions(1), 1.0 + 2.0);
+  EXPECT_EQ(e.selections(1), 3u);
+}
+
+TEST(RetxEstimator, ClampsAboveMaxRetx) {
+  RetxEstimator e{1, 7};
+  e.record(0, 100);
+  EXPECT_DOUBLE_EQ(e.expected_transmissions(0), 8.0);
+  EXPECT_DOUBLE_EQ(e.probability_at_most(7, 0), 1.0);
+  EXPECT_DOUBLE_EQ(e.probability_at_most(6, 0), 0.0);
+}
+
+TEST(RetxEstimator, WindowsAreIndependent) {
+  RetxEstimator e{3};
+  e.record(0, 5);
+  EXPECT_DOUBLE_EQ(e.expected_transmissions(0), 6.0);
+  EXPECT_DOUBLE_EQ(e.expected_transmissions(1), 1.0);
+  EXPECT_DOUBLE_EQ(e.expected_transmissions(2), 1.0);
+}
+
+TEST(RetxEstimator, OutOfRangeThrows) {
+  RetxEstimator e{2};
+  EXPECT_THROW(e.record(2, 0), std::out_of_range);
+  EXPECT_THROW(e.expected_transmissions(5), std::out_of_range);
+  EXPECT_THROW(e.probability_at_most(0, 5), std::out_of_range);
+  EXPECT_THROW(e.selections(9), std::out_of_range);
+}
+
+TEST(RetxEstimator, CrowdedWindowCostsMore) {
+  // The MAC-facing property: a window with a collision history must show a
+  // higher expected transmission count than a clean one.
+  RetxEstimator e{2};
+  for (int i = 0; i < 20; ++i) {
+    e.record(0, 4);  // crowded
+    e.record(1, 0);  // clean
+  }
+  EXPECT_GT(e.expected_transmissions(0), e.expected_transmissions(1) * 3.0);
+}
+
+}  // namespace
+}  // namespace blam

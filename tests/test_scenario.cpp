@@ -1,0 +1,92 @@
+#include "net/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mac/greedy_green_mac.hpp"
+
+namespace blam {
+namespace {
+
+TEST(ScenarioPresets, LorawanDefaultsMatchPaper) {
+  const ScenarioConfig c = lorawan_scenario(500, 7);
+  EXPECT_EQ(c.policy, PolicyKind::kLorawan);
+  EXPECT_EQ(c.n_nodes, 500);
+  EXPECT_EQ(c.seed, 7u);
+  EXPECT_DOUBLE_EQ(c.theta, 1.0);
+  EXPECT_DOUBLE_EQ(c.radius_m, 5000.0);                       // 5 km max distance
+  EXPECT_EQ(c.min_period, Time::from_minutes(16.0));          // [16, 60] min
+  EXPECT_EQ(c.max_period, Time::from_minutes(60.0));
+  EXPECT_EQ(c.forecast_window, Time::from_minutes(1.0));      // 1-min windows
+  EXPECT_DOUBLE_EQ(c.w_b, 1.0);                               // w_b = 1
+  EXPECT_DOUBLE_EQ(c.temperature_c, 25.0);                    // insulated 25 C
+  EXPECT_TRUE(c.thermal.insulated);
+  EXPECT_EQ(c.payload_bytes, 10);                             // 10-byte packets
+  EXPECT_EQ(c.timings.max_transmissions, 8);                  // 8 transmissions
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(ScenarioPresets, LabelsFollowThePaper) {
+  EXPECT_EQ(lorawan_scenario(1, 1).policy_label(), "LoRaWAN");
+  EXPECT_EQ(blam_scenario(1, 0.05, 1).policy_label(), "H-5");
+  EXPECT_EQ(blam_scenario(1, 0.5, 1).policy_label(), "H-50");
+  EXPECT_EQ(blam_scenario(1, 1.0, 1).policy_label(), "H-100");
+  EXPECT_EQ(theta_only_scenario(1, 0.5, 1).policy_label(), "H-50C");
+  EXPECT_EQ(greedy_green_scenario(1, 1).policy_label(), "GreedyGreen");
+}
+
+TEST(ScenarioPresets, FactoriesMatchPolicies) {
+  EXPECT_EQ(make_policy(lorawan_scenario(1, 1))->name(), "LoRaWAN");
+  EXPECT_EQ(make_policy(blam_scenario(1, 0.5, 1))->name(), "H-50");
+  EXPECT_EQ(make_policy(theta_only_scenario(1, 0.5, 1))->name(), "H-50C");
+  EXPECT_EQ(make_policy(greedy_green_scenario(1, 1))->name(), "GreedyGreen");
+}
+
+TEST(ScenarioPresets, UtilityFactory) {
+  ScenarioConfig c = lorawan_scenario(1, 1);
+  EXPECT_EQ(make_utility(c)->name(), "linear");
+  c.utility = UtilityKind::kExponential;
+  EXPECT_EQ(make_utility(c)->name(), "exponential");
+  c.utility = UtilityKind::kStep;
+  EXPECT_EQ(make_utility(c)->name(), "step");
+}
+
+TEST(ScenarioValidation, CatchesEachBadField) {
+  auto expect_invalid = [](auto mutate) {
+    ScenarioConfig c = lorawan_scenario(10, 1);
+    mutate(c);
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  };
+  expect_invalid([](ScenarioConfig& c) { c.n_nodes = 0; });
+  expect_invalid([](ScenarioConfig& c) { c.radius_m = 0.0; });
+  expect_invalid([](ScenarioConfig& c) { c.n_gateways = 0; });
+  expect_invalid([](ScenarioConfig& c) { c.gateway_ring_fraction = 0.0; });
+  expect_invalid([](ScenarioConfig& c) { c.min_period = Time::zero(); });
+  expect_invalid([](ScenarioConfig& c) { c.max_period = c.min_period - Time::from_minutes(1.0); });
+  expect_invalid([](ScenarioConfig& c) { c.forecast_window = c.min_period * 2; });
+  expect_invalid([](ScenarioConfig& c) { c.theta = 0.0; });
+  expect_invalid([](ScenarioConfig& c) { c.w_b = 1.5; });
+  expect_invalid([](ScenarioConfig& c) { c.payload_bytes = 0; });
+  expect_invalid([](ScenarioConfig& c) { c.payload_bytes = 300; });
+  expect_invalid([](ScenarioConfig& c) { c.ewma_beta = -0.1; });
+  expect_invalid([](ScenarioConfig& c) { c.battery_days = 0.0; });
+  expect_invalid([](ScenarioConfig& c) { c.initial_soc = 1.5; });
+  expect_invalid([](ScenarioConfig& c) { c.panel_scale_min = 2.0; c.panel_scale_max = 1.0; });
+  expect_invalid([](ScenarioConfig& c) { c.retx_backoff_min = c.retx_backoff_max * 2; });
+  expect_invalid([](ScenarioConfig& c) { c.dissemination_period = Time::zero(); });
+  expect_invalid([](ScenarioConfig& c) { c.duty_cycle = 0.0; });
+  expect_invalid([](ScenarioConfig& c) { c.period_jitter = 0.5; });
+  expect_invalid([](ScenarioConfig& c) { c.battery_self_discharge_per_month = 1.0; });
+  expect_invalid([](ScenarioConfig& c) { c.supercap_tx_buffer = -1.0; });
+  expect_invalid([](ScenarioConfig& c) { c.supercap_efficiency = 0.0; });
+  expect_invalid([](ScenarioConfig& c) { c.supercap_leak_per_day = 1.0; });
+}
+
+TEST(ScenarioValidation, WindowsForRoundsDown) {
+  const ScenarioConfig c = lorawan_scenario(1, 1);
+  EXPECT_EQ(c.windows_for(Time::from_minutes(16.0)), 16);
+  EXPECT_EQ(c.windows_for(Time::from_minutes(16.5)), 16);
+  EXPECT_EQ(c.windows_for(Time::from_seconds(30.0)), 1);  // never zero
+}
+
+}  // namespace
+}  // namespace blam

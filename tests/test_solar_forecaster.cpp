@@ -1,0 +1,80 @@
+#include "forecast/solar_forecaster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace blam {
+namespace {
+
+class ForecasterTest : public ::testing::Test {
+ protected:
+  ForecasterTest() : trace_{make_config()}, harvester_{trace_, 1.0} {}
+
+  static SolarTraceConfig make_config() {
+    SolarTraceConfig c;
+    c.peak = Power::from_milli_watts(20.0);
+    c.seed = 5;
+    return c;
+  }
+
+  SolarTrace trace_;
+  Harvester harvester_;
+};
+
+TEST_F(ForecasterTest, PerfectForecastMatchesTruth) {
+  SolarForecaster f{harvester_, 0.0, Rng{1}};
+  const Time noon = Time::from_days(150.0) + Time::from_hours(11.0);
+  const auto windows = f.forecast(noon, Time::from_minutes(1.0), 30);
+  ASSERT_EQ(windows.size(), 30u);
+  for (int i = 0; i < 30; ++i) {
+    const Time t0 = noon + Time::from_minutes(i);
+    const Time t1 = noon + Time::from_minutes(i + 1);
+    EXPECT_DOUBLE_EQ(windows[static_cast<std::size_t>(i)].joules(),
+                     harvester_.energy_between(t0, t1).joules());
+  }
+}
+
+TEST_F(ForecasterTest, NightForecastIsZero) {
+  SolarForecaster f{harvester_, 0.0, Rng{1}};
+  const Time midnight = Time::from_days(150.0);
+  const auto windows = f.forecast(midnight, Time::from_minutes(1.0), 10);
+  for (const Energy& e : windows) EXPECT_DOUBLE_EQ(e.joules(), 0.0);
+}
+
+TEST_F(ForecasterTest, NoisyForecastIsUnbiasedAndNonNegative) {
+  SolarForecaster f{harvester_, 0.2, Rng{9}};
+  const Time noon = Time::from_days(150.0) + Time::from_hours(12.0);
+  const Energy truth = harvester_.energy_between(noon, noon + Time::from_minutes(1.0));
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const Energy e = f.forecast_one(noon, noon + Time::from_minutes(1.0));
+    EXPECT_GE(e.joules(), 0.0);
+    sum += e.joules();
+  }
+  EXPECT_NEAR(sum / n, truth.joules(), truth.joules() * 0.02);
+}
+
+TEST_F(ForecasterTest, ValidatesArguments) {
+  EXPECT_THROW(SolarForecaster(harvester_, -0.1, Rng{1}), std::invalid_argument);
+  SolarForecaster f{harvester_, 0.0, Rng{1}};
+  EXPECT_THROW(f.forecast(Time::zero(), Time::zero(), 5), std::invalid_argument);
+  EXPECT_THROW(f.forecast(Time::zero(), Time::from_minutes(1.0), -1), std::invalid_argument);
+}
+
+TEST_F(ForecasterTest, ZeroWindowsGivesEmpty) {
+  SolarForecaster f{harvester_, 0.0, Rng{1}};
+  EXPECT_TRUE(f.forecast(Time::zero(), Time::from_minutes(1.0), 0).empty());
+}
+
+TEST_F(ForecasterTest, WindowsPartitionThePeriod) {
+  SolarForecaster f{harvester_, 0.0, Rng{1}};
+  const Time start = Time::from_days(100.0) + Time::from_hours(10.0);
+  const auto windows = f.forecast(start, Time::from_minutes(1.0), 40);
+  double sum = 0.0;
+  for (const Energy& e : windows) sum += e.joules();
+  EXPECT_NEAR(sum, harvester_.energy_between(start, start + Time::from_minutes(40.0)).joules(),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace blam

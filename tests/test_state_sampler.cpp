@@ -1,0 +1,80 @@
+#include "net/state_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "net/network.hpp"
+
+namespace blam {
+namespace {
+
+TEST(StateSampler, CollectsSnapshotsBetweenRuns) {
+  ScenarioConfig config = lorawan_scenario(5, 9);
+  Network network{config};
+  StateSampler sampler{network};
+
+  for (int day = 1; day <= 3; ++day) {
+    network.run_until(Time::from_days(day));
+    sampler.sample();
+  }
+  ASSERT_EQ(sampler.size(), 3u);
+  for (const auto& snap : sampler.snapshots()) {
+    EXPECT_EQ(snap.soc.size(), 5u);
+    EXPECT_EQ(snap.degradation.size(), 5u);
+    for (double soc : snap.soc) {
+      EXPECT_GE(soc, 0.0);
+      EXPECT_LE(soc, 1.0);
+    }
+  }
+  // Degradation is monotone across snapshots.
+  EXPECT_GE(sampler.snapshots()[2].max_degradation(),
+            sampler.snapshots()[0].max_degradation());
+  EXPECT_GT(sampler.snapshots()[0].mean_soc(), 0.0);
+}
+
+TEST(StateSampler, SnapshotTimesMatchSimulation) {
+  ScenarioConfig config = lorawan_scenario(3, 9);
+  Network network{config};
+  StateSampler sampler{network};
+  network.run_until(Time::from_hours(12.0));
+  sampler.sample();
+  EXPECT_EQ(sampler.snapshots()[0].at, Time::from_hours(12.0));
+}
+
+TEST(StateSampler, WritesCsv) {
+  ScenarioConfig config = lorawan_scenario(4, 9);
+  Network network{config};
+  StateSampler sampler{network};
+  network.run_until(Time::from_days(1.0));
+  sampler.sample();
+  network.run_until(Time::from_days(2.0));
+  sampler.sample();
+
+  const std::string path = ::testing::TempDir() + "sampler_test.csv";
+  sampler.write_csv(path);
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1 + 2 * 4);  // header + snapshots * nodes
+  std::remove(path.c_str());
+}
+
+TEST(StateSampler, CycleAndCalendarComponentsPresent) {
+  ScenarioConfig config = lorawan_scenario(3, 9);
+  Network network{config};
+  StateSampler sampler{network};
+  network.run_until(Time::from_days(5.0));
+  sampler.sample();
+  const auto& snap = sampler.snapshots()[0];
+  for (std::size_t i = 0; i < snap.calendar_linear.size(); ++i) {
+    EXPECT_GT(snap.calendar_linear[i], 0.0);
+    EXPECT_GE(snap.cycle_linear[i], 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace blam

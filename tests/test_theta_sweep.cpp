@@ -1,0 +1,81 @@
+// Parameterized theta sweep: the protocol's central dial, swept end-to-end
+// over small paired networks (shared weather). Checks the monotone
+// relationships the paper's Figs. 5-6 rest on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/experiment.hpp"
+
+namespace blam {
+namespace {
+
+// One shared run per theta, computed lazily and cached across tests.
+const std::map<int, ExperimentResult>& sweep() {
+  static const std::map<int, ExperimentResult> results = [] {
+    const int nodes = 25;
+    const std::uint64_t seed = 91;
+    const auto trace = build_shared_trace(lorawan_scenario(nodes, seed));
+    const Time duration = Time::from_days(12.0);
+    std::map<int, ExperimentResult> out;
+    for (int pct : {5, 20, 50, 80, 100}) {
+      out.emplace(pct, run_scenario(blam_scenario(nodes, pct / 100.0, seed), duration, trace));
+    }
+    return out;
+  }();
+  return results;
+}
+
+TEST(ThetaSweep, MeanSocIsMonotoneInTheta) {
+  double prev = -1.0;
+  for (const auto& [pct, r] : sweep()) {
+    double mean_soc = 0.0;
+    for (const NodeMetrics& m : r.nodes) mean_soc += m.mean_soc;
+    mean_soc /= static_cast<double>(r.nodes.size());
+    EXPECT_GE(mean_soc, prev - 0.02) << "theta " << pct;  // small tolerance
+    // The cap binds: mean SoC cannot exceed theta.
+    EXPECT_LE(mean_soc, pct / 100.0 + 1e-9) << "theta " << pct;
+    prev = mean_soc;
+  }
+}
+
+TEST(ThetaSweep, CalendarAgingGrowsWithTheta) {
+  double prev = -1.0;
+  for (const auto& [pct, r] : sweep()) {
+    double cal = 0.0;
+    for (const NodeMetrics& m : r.nodes) cal += m.calendar_linear;
+    if (pct >= 20) {  // H-5's night drops distort its observed trace
+      EXPECT_GE(cal, prev - 1e-6) << "theta " << pct;
+    }
+    prev = cal;
+  }
+}
+
+TEST(ThetaSweep, TinyThetaPaysInPrr) {
+  const double prr_5 = sweep().at(5).summary.mean_prr;
+  const double prr_50 = sweep().at(50).summary.mean_prr;
+  const double prr_100 = sweep().at(100).summary.mean_prr;
+  EXPECT_LT(prr_5, prr_50);
+  EXPECT_NEAR(prr_50, prr_100, 0.02);
+  EXPECT_GT(prr_50, 0.95);
+}
+
+TEST(ThetaSweep, DegradationOrderingMatchesFig5) {
+  // H-5 <= H-50 <= H-100 in mean degradation (paper Fig. 5c).
+  const double d5 = sweep().at(5).summary.degradation_box.mean;
+  const double d50 = sweep().at(50).summary.degradation_box.mean;
+  const double d100 = sweep().at(100).summary.degradation_box.mean;
+  EXPECT_LE(d5, d50 + 1e-9);
+  EXPECT_LE(d50, d100 + 1e-9);
+}
+
+TEST(ThetaSweep, EveryThetaKeepsTheCapInvariant) {
+  for (const auto& [pct, r] : sweep()) {
+    for (const NodeMetrics& m : r.nodes) {
+      EXPECT_LE(m.final_soc, pct / 100.0 + 1e-9) << "theta " << pct;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blam

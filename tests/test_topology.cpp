@@ -1,0 +1,54 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace blam {
+namespace {
+
+TEST(Topology, RandomDiskStaysInRadius) {
+  Rng rng{1};
+  const Position center{100.0, -50.0};
+  const auto positions = random_disk(1000, 5000.0, center, rng);
+  ASSERT_EQ(positions.size(), 1000u);
+  for (const Position& p : positions) {
+    EXPECT_LE(p.distance_to(center), 5000.0 + 1e-9);
+  }
+}
+
+TEST(Topology, RandomDiskIsAreaUniform) {
+  Rng rng{2};
+  const Position center{0.0, 0.0};
+  const auto positions = random_disk(20000, 1000.0, center, rng);
+  // Under area-uniformity, the fraction within r = R/sqrt(2) is 1/2.
+  int inside = 0;
+  for (const Position& p : positions) {
+    if (p.distance_to(center) <= 1000.0 / std::sqrt(2.0)) ++inside;
+  }
+  EXPECT_NEAR(static_cast<double>(inside) / 20000.0, 0.5, 0.02);
+}
+
+TEST(Topology, RandomDiskValidation) {
+  Rng rng{3};
+  EXPECT_THROW(random_disk(-1, 100.0, Position{}, rng), std::invalid_argument);
+  EXPECT_THROW(random_disk(10, 0.0, Position{}, rng), std::invalid_argument);
+  EXPECT_TRUE(random_disk(0, 100.0, Position{}, rng).empty());
+}
+
+TEST(Topology, RingIsEquidistant) {
+  const Position center{10.0, 20.0};
+  const auto positions = ring(12, 500.0, center);
+  ASSERT_EQ(positions.size(), 12u);
+  for (const Position& p : positions) {
+    EXPECT_NEAR(p.distance_to(center), 500.0, 1e-9);
+  }
+}
+
+TEST(Topology, RingValidation) {
+  EXPECT_THROW(ring(-1, 100.0, Position{}), std::invalid_argument);
+  EXPECT_THROW(ring(4, -5.0, Position{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace blam
