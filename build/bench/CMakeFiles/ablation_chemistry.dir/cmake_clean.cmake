@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chemistry.dir/ablation_chemistry.cpp.o"
+  "CMakeFiles/ablation_chemistry.dir/ablation_chemistry.cpp.o.d"
+  "ablation_chemistry"
+  "ablation_chemistry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chemistry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

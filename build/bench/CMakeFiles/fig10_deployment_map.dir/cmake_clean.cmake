@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_deployment_map.dir/fig10_deployment_map.cpp.o"
+  "CMakeFiles/fig10_deployment_map.dir/fig10_deployment_map.cpp.o.d"
+  "fig10_deployment_map"
+  "fig10_deployment_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_deployment_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

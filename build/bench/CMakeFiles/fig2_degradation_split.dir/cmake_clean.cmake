@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_degradation_split.dir/fig2_degradation_split.cpp.o"
+  "CMakeFiles/fig2_degradation_split.dir/fig2_degradation_split.cpp.o.d"
+  "fig2_degradation_split"
+  "fig2_degradation_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_degradation_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_degradation_influence.dir/fig3_degradation_influence.cpp.o"
+  "CMakeFiles/fig3_degradation_influence.dir/fig3_degradation_influence.cpp.o.d"
+  "fig3_degradation_influence"
+  "fig3_degradation_influence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_degradation_influence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_window_selection.dir/fig4_window_selection.cpp.o"
+  "CMakeFiles/fig4_window_selection.dir/fig4_window_selection.cpp.o.d"
+  "fig4_window_selection"
+  "fig4_window_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_window_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

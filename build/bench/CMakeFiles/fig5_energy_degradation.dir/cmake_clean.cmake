@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_energy_degradation.dir/fig5_energy_degradation.cpp.o"
+  "CMakeFiles/fig5_energy_degradation.dir/fig5_energy_degradation.cpp.o.d"
+  "fig5_energy_degradation"
+  "fig5_energy_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_energy_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_lifespan_trace.dir/fig7_lifespan_trace.cpp.o"
+  "CMakeFiles/fig7_lifespan_trace.dir/fig7_lifespan_trace.cpp.o.d"
+  "fig7_lifespan_trace"
+  "fig7_lifespan_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_lifespan_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lifespan.dir/fig8_lifespan.cpp.o"
+  "CMakeFiles/fig8_lifespan.dir/fig8_lifespan.cpp.o.d"
+  "fig8_lifespan"
+  "fig8_lifespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lifespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

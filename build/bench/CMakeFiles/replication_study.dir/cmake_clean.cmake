@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_study.dir/replication_study.cpp.o"
+  "CMakeFiles/replication_study.dir/replication_study.cpp.o.d"
+  "replication_study"
+  "replication_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifespan_study.dir/lifespan_study.cpp.o"
+  "CMakeFiles/lifespan_study.dir/lifespan_study.cpp.o.d"
+  "lifespan_study"
+  "lifespan_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifespan_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

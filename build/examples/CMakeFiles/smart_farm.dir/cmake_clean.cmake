@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_farm.dir/smart_farm.cpp.o"
+  "CMakeFiles/smart_farm.dir/smart_farm.cpp.o.d"
+  "smart_farm"
+  "smart_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

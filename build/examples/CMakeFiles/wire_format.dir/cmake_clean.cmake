@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_format.dir/wire_format.cpp.o"
+  "CMakeFiles/wire_format.dir/wire_format.cpp.o.d"
+  "wire_format"
+  "wire_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

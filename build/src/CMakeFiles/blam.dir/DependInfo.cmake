@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/blam.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/blam.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/blam.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/blam.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/blam.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/blam.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/blam.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/blam.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/blam.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/blam.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/blam.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/blam.dir/common/units.cpp.o.d"
+  "/root/repo/src/core/degradation_service.cpp" "src/CMakeFiles/blam.dir/core/degradation_service.cpp.o" "gcc" "src/CMakeFiles/blam.dir/core/degradation_service.cpp.o.d"
+  "/root/repo/src/core/dif.cpp" "src/CMakeFiles/blam.dir/core/dif.cpp.o" "gcc" "src/CMakeFiles/blam.dir/core/dif.cpp.o.d"
+  "/root/repo/src/core/theta_controller.cpp" "src/CMakeFiles/blam.dir/core/theta_controller.cpp.o" "gcc" "src/CMakeFiles/blam.dir/core/theta_controller.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "src/CMakeFiles/blam.dir/core/utility.cpp.o" "gcc" "src/CMakeFiles/blam.dir/core/utility.cpp.o.d"
+  "/root/repo/src/core/window_selector.cpp" "src/CMakeFiles/blam.dir/core/window_selector.cpp.o" "gcc" "src/CMakeFiles/blam.dir/core/window_selector.cpp.o.d"
+  "/root/repo/src/degradation/model.cpp" "src/CMakeFiles/blam.dir/degradation/model.cpp.o" "gcc" "src/CMakeFiles/blam.dir/degradation/model.cpp.o.d"
+  "/root/repo/src/degradation/rainflow.cpp" "src/CMakeFiles/blam.dir/degradation/rainflow.cpp.o" "gcc" "src/CMakeFiles/blam.dir/degradation/rainflow.cpp.o.d"
+  "/root/repo/src/degradation/tracker.cpp" "src/CMakeFiles/blam.dir/degradation/tracker.cpp.o" "gcc" "src/CMakeFiles/blam.dir/degradation/tracker.cpp.o.d"
+  "/root/repo/src/energy/battery.cpp" "src/CMakeFiles/blam.dir/energy/battery.cpp.o" "gcc" "src/CMakeFiles/blam.dir/energy/battery.cpp.o.d"
+  "/root/repo/src/energy/power_switch.cpp" "src/CMakeFiles/blam.dir/energy/power_switch.cpp.o" "gcc" "src/CMakeFiles/blam.dir/energy/power_switch.cpp.o.d"
+  "/root/repo/src/energy/solar.cpp" "src/CMakeFiles/blam.dir/energy/solar.cpp.o" "gcc" "src/CMakeFiles/blam.dir/energy/solar.cpp.o.d"
+  "/root/repo/src/energy/supercap.cpp" "src/CMakeFiles/blam.dir/energy/supercap.cpp.o" "gcc" "src/CMakeFiles/blam.dir/energy/supercap.cpp.o.d"
+  "/root/repo/src/energy/thermal.cpp" "src/CMakeFiles/blam.dir/energy/thermal.cpp.o" "gcc" "src/CMakeFiles/blam.dir/energy/thermal.cpp.o.d"
+  "/root/repo/src/forecast/ewma.cpp" "src/CMakeFiles/blam.dir/forecast/ewma.cpp.o" "gcc" "src/CMakeFiles/blam.dir/forecast/ewma.cpp.o.d"
+  "/root/repo/src/forecast/retx_estimator.cpp" "src/CMakeFiles/blam.dir/forecast/retx_estimator.cpp.o" "gcc" "src/CMakeFiles/blam.dir/forecast/retx_estimator.cpp.o.d"
+  "/root/repo/src/forecast/solar_forecaster.cpp" "src/CMakeFiles/blam.dir/forecast/solar_forecaster.cpp.o" "gcc" "src/CMakeFiles/blam.dir/forecast/solar_forecaster.cpp.o.d"
+  "/root/repo/src/lora/airtime.cpp" "src/CMakeFiles/blam.dir/lora/airtime.cpp.o" "gcc" "src/CMakeFiles/blam.dir/lora/airtime.cpp.o.d"
+  "/root/repo/src/lora/channel_plan.cpp" "src/CMakeFiles/blam.dir/lora/channel_plan.cpp.o" "gcc" "src/CMakeFiles/blam.dir/lora/channel_plan.cpp.o.d"
+  "/root/repo/src/lora/interference.cpp" "src/CMakeFiles/blam.dir/lora/interference.cpp.o" "gcc" "src/CMakeFiles/blam.dir/lora/interference.cpp.o.d"
+  "/root/repo/src/lora/link.cpp" "src/CMakeFiles/blam.dir/lora/link.cpp.o" "gcc" "src/CMakeFiles/blam.dir/lora/link.cpp.o.d"
+  "/root/repo/src/lora/params.cpp" "src/CMakeFiles/blam.dir/lora/params.cpp.o" "gcc" "src/CMakeFiles/blam.dir/lora/params.cpp.o.d"
+  "/root/repo/src/mac/adr.cpp" "src/CMakeFiles/blam.dir/mac/adr.cpp.o" "gcc" "src/CMakeFiles/blam.dir/mac/adr.cpp.o.d"
+  "/root/repo/src/mac/blam_mac.cpp" "src/CMakeFiles/blam.dir/mac/blam_mac.cpp.o" "gcc" "src/CMakeFiles/blam.dir/mac/blam_mac.cpp.o.d"
+  "/root/repo/src/mac/codec.cpp" "src/CMakeFiles/blam.dir/mac/codec.cpp.o" "gcc" "src/CMakeFiles/blam.dir/mac/codec.cpp.o.d"
+  "/root/repo/src/mac/device_mac.cpp" "src/CMakeFiles/blam.dir/mac/device_mac.cpp.o" "gcc" "src/CMakeFiles/blam.dir/mac/device_mac.cpp.o.d"
+  "/root/repo/src/mac/duty_cycle.cpp" "src/CMakeFiles/blam.dir/mac/duty_cycle.cpp.o" "gcc" "src/CMakeFiles/blam.dir/mac/duty_cycle.cpp.o.d"
+  "/root/repo/src/mac/frame.cpp" "src/CMakeFiles/blam.dir/mac/frame.cpp.o" "gcc" "src/CMakeFiles/blam.dir/mac/frame.cpp.o.d"
+  "/root/repo/src/mac/gateway_mac.cpp" "src/CMakeFiles/blam.dir/mac/gateway_mac.cpp.o" "gcc" "src/CMakeFiles/blam.dir/mac/gateway_mac.cpp.o.d"
+  "/root/repo/src/mac/greedy_green_mac.cpp" "src/CMakeFiles/blam.dir/mac/greedy_green_mac.cpp.o" "gcc" "src/CMakeFiles/blam.dir/mac/greedy_green_mac.cpp.o.d"
+  "/root/repo/src/mac/lorawan_mac.cpp" "src/CMakeFiles/blam.dir/mac/lorawan_mac.cpp.o" "gcc" "src/CMakeFiles/blam.dir/mac/lorawan_mac.cpp.o.d"
+  "/root/repo/src/net/experiment.cpp" "src/CMakeFiles/blam.dir/net/experiment.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/experiment.cpp.o.d"
+  "/root/repo/src/net/gateway.cpp" "src/CMakeFiles/blam.dir/net/gateway.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/gateway.cpp.o.d"
+  "/root/repo/src/net/interferer.cpp" "src/CMakeFiles/blam.dir/net/interferer.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/interferer.cpp.o.d"
+  "/root/repo/src/net/metrics.cpp" "src/CMakeFiles/blam.dir/net/metrics.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/metrics.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/blam.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/network_server.cpp" "src/CMakeFiles/blam.dir/net/network_server.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/network_server.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/blam.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/packet_log.cpp" "src/CMakeFiles/blam.dir/net/packet_log.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/packet_log.cpp.o.d"
+  "/root/repo/src/net/replication.cpp" "src/CMakeFiles/blam.dir/net/replication.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/replication.cpp.o.d"
+  "/root/repo/src/net/scenario.cpp" "src/CMakeFiles/blam.dir/net/scenario.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/scenario.cpp.o.d"
+  "/root/repo/src/net/scenario_io.cpp" "src/CMakeFiles/blam.dir/net/scenario_io.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/scenario_io.cpp.o.d"
+  "/root/repo/src/net/state_sampler.cpp" "src/CMakeFiles/blam.dir/net/state_sampler.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/state_sampler.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/blam.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/blam.dir/net/topology.cpp.o.d"
+  "/root/repo/src/oracle/tdma_scheduler.cpp" "src/CMakeFiles/blam.dir/oracle/tdma_scheduler.cpp.o" "gcc" "src/CMakeFiles/blam.dir/oracle/tdma_scheduler.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/blam.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/blam.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/blam.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/blam.dir/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

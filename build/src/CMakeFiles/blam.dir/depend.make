@@ -1,0 +1,2 @@
+# Empty dependencies file for blam.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ack_planner.cpp" "tests/CMakeFiles/blam_tests.dir/test_ack_planner.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_ack_planner.cpp.o.d"
+  "/root/repo/tests/test_adr.cpp" "tests/CMakeFiles/blam_tests.dir/test_adr.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_adr.cpp.o.d"
+  "/root/repo/tests/test_airtime.cpp" "tests/CMakeFiles/blam_tests.dir/test_airtime.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_airtime.cpp.o.d"
+  "/root/repo/tests/test_battery.cpp" "tests/CMakeFiles/blam_tests.dir/test_battery.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_battery.cpp.o.d"
+  "/root/repo/tests/test_battery_property.cpp" "tests/CMakeFiles/blam_tests.dir/test_battery_property.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_battery_property.cpp.o.d"
+  "/root/repo/tests/test_channel_plan.cpp" "tests/CMakeFiles/blam_tests.dir/test_channel_plan.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_channel_plan.cpp.o.d"
+  "/root/repo/tests/test_codec.cpp" "tests/CMakeFiles/blam_tests.dir/test_codec.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_codec.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/blam_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_degradation_fidelity.cpp" "tests/CMakeFiles/blam_tests.dir/test_degradation_fidelity.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_degradation_fidelity.cpp.o.d"
+  "/root/repo/tests/test_degradation_model.cpp" "tests/CMakeFiles/blam_tests.dir/test_degradation_model.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_degradation_model.cpp.o.d"
+  "/root/repo/tests/test_degradation_service.cpp" "tests/CMakeFiles/blam_tests.dir/test_degradation_service.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_degradation_service.cpp.o.d"
+  "/root/repo/tests/test_degradation_tracker.cpp" "tests/CMakeFiles/blam_tests.dir/test_degradation_tracker.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_degradation_tracker.cpp.o.d"
+  "/root/repo/tests/test_dif.cpp" "tests/CMakeFiles/blam_tests.dir/test_dif.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_dif.cpp.o.d"
+  "/root/repo/tests/test_duty_cycle.cpp" "tests/CMakeFiles/blam_tests.dir/test_duty_cycle.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_duty_cycle.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/blam_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_ewma.cpp" "tests/CMakeFiles/blam_tests.dir/test_ewma.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_ewma.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/blam_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_gateway.cpp" "tests/CMakeFiles/blam_tests.dir/test_gateway.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_gateway.cpp.o.d"
+  "/root/repo/tests/test_interference.cpp" "tests/CMakeFiles/blam_tests.dir/test_interference.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_interference.cpp.o.d"
+  "/root/repo/tests/test_link.cpp" "tests/CMakeFiles/blam_tests.dir/test_link.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_link.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/blam_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_mac_policies.cpp" "tests/CMakeFiles/blam_tests.dir/test_mac_policies.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_mac_policies.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/blam_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_multi_gateway.cpp" "tests/CMakeFiles/blam_tests.dir/test_multi_gateway.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_multi_gateway.cpp.o.d"
+  "/root/repo/tests/test_network_integration.cpp" "tests/CMakeFiles/blam_tests.dir/test_network_integration.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_network_integration.cpp.o.d"
+  "/root/repo/tests/test_network_server.cpp" "tests/CMakeFiles/blam_tests.dir/test_network_server.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_network_server.cpp.o.d"
+  "/root/repo/tests/test_oracle.cpp" "tests/CMakeFiles/blam_tests.dir/test_oracle.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_oracle.cpp.o.d"
+  "/root/repo/tests/test_packet_log.cpp" "tests/CMakeFiles/blam_tests.dir/test_packet_log.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_packet_log.cpp.o.d"
+  "/root/repo/tests/test_power_switch.cpp" "tests/CMakeFiles/blam_tests.dir/test_power_switch.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_power_switch.cpp.o.d"
+  "/root/repo/tests/test_protocol_properties.cpp" "tests/CMakeFiles/blam_tests.dir/test_protocol_properties.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_protocol_properties.cpp.o.d"
+  "/root/repo/tests/test_rainflow.cpp" "tests/CMakeFiles/blam_tests.dir/test_rainflow.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_rainflow.cpp.o.d"
+  "/root/repo/tests/test_rainflow_reference.cpp" "tests/CMakeFiles/blam_tests.dir/test_rainflow_reference.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_rainflow_reference.cpp.o.d"
+  "/root/repo/tests/test_replication.cpp" "tests/CMakeFiles/blam_tests.dir/test_replication.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_replication.cpp.o.d"
+  "/root/repo/tests/test_retx_estimator.cpp" "tests/CMakeFiles/blam_tests.dir/test_retx_estimator.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_retx_estimator.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/blam_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/blam_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_scenario_fuzz.cpp" "tests/CMakeFiles/blam_tests.dir/test_scenario_fuzz.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_scenario_fuzz.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/blam_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_solar.cpp" "tests/CMakeFiles/blam_tests.dir/test_solar.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_solar.cpp.o.d"
+  "/root/repo/tests/test_solar_forecaster.cpp" "tests/CMakeFiles/blam_tests.dir/test_solar_forecaster.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_solar_forecaster.cpp.o.d"
+  "/root/repo/tests/test_solar_property.cpp" "tests/CMakeFiles/blam_tests.dir/test_solar_property.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_solar_property.cpp.o.d"
+  "/root/repo/tests/test_state_sampler.cpp" "tests/CMakeFiles/blam_tests.dir/test_state_sampler.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_state_sampler.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/blam_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_supercap.cpp" "tests/CMakeFiles/blam_tests.dir/test_supercap.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_supercap.cpp.o.d"
+  "/root/repo/tests/test_thermal.cpp" "tests/CMakeFiles/blam_tests.dir/test_thermal.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_thermal.cpp.o.d"
+  "/root/repo/tests/test_theta_controller.cpp" "tests/CMakeFiles/blam_tests.dir/test_theta_controller.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_theta_controller.cpp.o.d"
+  "/root/repo/tests/test_theta_sweep.cpp" "tests/CMakeFiles/blam_tests.dir/test_theta_sweep.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_theta_sweep.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/blam_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_traffic_modes.cpp" "tests/CMakeFiles/blam_tests.dir/test_traffic_modes.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_traffic_modes.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/blam_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_units.cpp.o.d"
+  "/root/repo/tests/test_utility.cpp" "tests/CMakeFiles/blam_tests.dir/test_utility.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_utility.cpp.o.d"
+  "/root/repo/tests/test_window_selector.cpp" "tests/CMakeFiles/blam_tests.dir/test_window_selector.cpp.o" "gcc" "tests/CMakeFiles/blam_tests.dir/test_window_selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/blam.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
