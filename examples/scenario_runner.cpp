@@ -47,6 +47,24 @@ fast_fading = false           # Rayleigh per-transmission fades
 period_jitter = 0             # +/- fraction of the sampling period
 interference_tx_per_hour = 0  # foreign LoRa traffic
 packet_log = false            # per-packet event log (short runs only)
+
+# Fault injection (all off by default) + graceful-degradation knobs.
+fault_outage_daily_start_h = 0
+fault_outage_daily_duration_h = 0   # >0 = fixed daily gateway outage
+fault_outage_random_per_day = 0     # Poisson random outages
+fault_outage_min_min = 15
+fault_outage_max_min = 120
+fault_ack_loss_good = 0             # Gilbert-Elliott downlink ACK loss
+fault_ack_loss_bad = 0
+fault_ack_good_mean_min = 240
+fault_ack_bad_mean_min = 10
+fault_crash_per_year = 0            # node crash/reboot (wipes estimators)
+fault_reboot_duration_min = 10
+fault_drought_start_days = 0        # solar drought interval
+fault_drought_duration_days = 0
+fault_drought_scale = 1
+stale_feedback_k = 0                # ramp w_u toward 1 past k stale periods
+ack_failure_backoff = false         # budget >>= consecutive ACK-less packets
 )";
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "mac/blam_mac.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
@@ -15,7 +16,7 @@ MacDecision BlamMac::select_window(const WindowContext& ctx) {
   WindowSelectorInput input;
   input.battery = ctx.battery;
   input.storage_cap = ctx.battery_capacity * theta_;
-  input.w_u = ctx.w_u;
+  input.w_u = effective_w_u(ctx);
   input.w_b = ctx.w_b;
   input.harvest = ctx.harvest_forecast;
   input.tx_cost = ctx.tx_cost;
@@ -30,6 +31,23 @@ void BlamMac::set_soc_cap(double theta) {
     throw std::invalid_argument{"BlamMac::set_soc_cap: theta must be in (0,1]"};
   }
   theta_ = theta;
+}
+
+double BlamMac::effective_w_u(const WindowContext& ctx) {
+  // Graceful degradation under stale feedback: w_u arrives once per
+  // dissemination period piggybacked on ACKs, so a gateway outage (or a
+  // burst of lost downlinks) leaves the node steering on an obsolete
+  // weight. Trusting a stale LOW w_u is the dangerous direction — the node
+  // keeps spending battery as if its pack were healthy. Past k periods of
+  // silence the weight ramps linearly toward 1 (full DIF influence, the
+  // conservative regime) over another k periods, and fresh feedback snaps
+  // it back instantly.
+  if (ctx.stale_feedback_k <= 0.0 || ctx.w_u_age_periods <= ctx.stale_feedback_k) {
+    return ctx.w_u;
+  }
+  const double over = ctx.w_u_age_periods - ctx.stale_feedback_k;
+  const double blend = std::min(1.0, over / ctx.stale_feedback_k);
+  return ctx.w_u + (1.0 - ctx.w_u) * blend;
 }
 
 std::string BlamMac::name() const {

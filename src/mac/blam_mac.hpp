@@ -23,6 +23,11 @@ class BlamMac final : public MacPolicy {
   /// Details of the most recent selection (diagnostics, Fig. 3 bench).
   [[nodiscard]] const WindowSelection& last_selection() const { return last_; }
 
+  /// The w_u actually fed to Algorithm 1: the reported value while fresh,
+  /// decayed toward 1 (conservative) once it is older than
+  /// ctx.stale_feedback_k dissemination periods. Exposed for tests.
+  [[nodiscard]] static double effective_w_u(const WindowContext& ctx);
+
  private:
   double theta_;
   WindowSelector selector_;

@@ -29,6 +29,13 @@ struct WindowContext {
   Energy battery_capacity{};
   /// Normalized degradation w_u received from the gateway.
   double w_u{0.0};
+  /// Age of w_u in dissemination periods (0 = fresh). Counted from the
+  /// node's boot when no feedback has arrived yet.
+  double w_u_age_periods{0.0};
+  /// Staleness threshold k (dissemination periods) after which a policy
+  /// should stop trusting w_u and decay toward the conservative regime;
+  /// 0 disables the fallback (the paper's behavior).
+  double stale_feedback_k{0.0};
   /// Degradation-vs-utility weight w_b.
   double w_b{1.0};
   /// Forecast harvest per window (empty if the policy does not need it).

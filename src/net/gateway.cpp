@@ -1,5 +1,6 @@
 #include "net/gateway.hpp"
 
+#include "fault/fault_plan.hpp"
 #include "lora/airtime.hpp"
 #include "mac/adr.hpp"
 #include "net/node.hpp"
@@ -37,6 +38,14 @@ void Gateway::on_uplink(Node& node, const UplinkFrame& frame, const TxParams& pa
   const Time now = sim_.now();
   GatewayMetrics& gm = metrics_.gateway();
   ++gm.arrivals;
+
+  // Fault-injected outage: the gateway radio is dead, so nothing is
+  // received here and nothing needs to enter the interference tracker (a
+  // dead receiver has no receptions to jam).
+  if (faults_ != nullptr && faults_->gateway_out(now)) {
+    ++gm.lost_outage;
+    return;
+  }
 
   AirPacket packet;
   packet.id = next_packet_id_++;
@@ -102,6 +111,13 @@ void Gateway::send_ack(Node& node, const UplinkFrame& frame, Time uplink_end, Sp
                        int channel, std::optional<double> theta_update) {
   GatewayMetrics& gm = metrics_.gateway();
 
+  // An outage can begin between the uplink's reception and the server's
+  // downlink decision; the gateway then never transmits the ACK.
+  if (faults_ != nullptr && faults_->gateway_out(sim_.now())) {
+    ++gm.acks_lost_outage;
+    return;
+  }
+
   AckFrame ack;
   ack.node_id = frame.node_id;
   ack.seq = frame.seq;
@@ -120,6 +136,14 @@ void Gateway::send_ack(Node& node, const UplinkFrame& frame, Time uplink_end, Sp
   const double rx_at_device = config_.downlink_tx_dbm - node.link_loss_db(id_);
   if (rx_at_device < device_sensitivity_dbm(plan->sf)) {
     ++gm.acks_undecodable;
+    return;
+  }
+
+  // Gilbert-Elliott downlink burst loss: the gateway transmits (the TX
+  // chain stays booked, so the half-duplex ledger is unchanged) but the
+  // device fails to decode.
+  if (faults_ != nullptr && faults_->downlink_lost(id_, plan->tx_end)) {
+    ++gm.acks_lost_channel;
     return;
   }
 

@@ -30,6 +30,7 @@
 
 namespace blam {
 
+class FaultPlan;
 class Node;
 
 class Gateway {
@@ -44,6 +45,10 @@ class Gateway {
 
   Gateway(int id, Position position, Simulator& sim, NetworkServer& server, Metrics& metrics,
           const ChannelPlan& plan, const Config& config);
+
+  /// Attaches the fault-injection plan (nullptr = no faults). Mutable:
+  /// the downlink loss channel consumes random draws.
+  void attach_fault_plan(FaultPlan* faults) { faults_ = faults; }
 
   /// Called by a node at the instant its transmission starts.
   /// `rx_power_dbm` is the power this uplink arrives with at THIS gateway.
@@ -80,6 +85,7 @@ class Gateway {
   Metrics& metrics_;
   ChannelPlan plan_;
   Config config_;
+  FaultPlan* faults_{nullptr};
   InterferenceTracker interference_;
   AckPlanner ack_planner_;
   int busy_paths_{0};

@@ -31,6 +31,8 @@ NetworkSummary Metrics::summarize() const {
   double retx_sum = 0.0;
   double latency_max = 0.0;
   RunningStats delivered_latency;
+  RunningStats recovery;
+  RunningStats w_age;
   for (const NodeMetrics& n : nodes_) {
     prr.push_back(n.prr());
     utility.push_back(n.avg_utility());
@@ -40,7 +42,16 @@ NetworkSummary Metrics::summarize() const {
     latency_max = std::max(latency_max, n.latency_s.max());
     delivered_latency.merge(n.delivered_latency_s);
     s.total_tx_energy += n.tx_energy;
+    s.lost_in_outage += n.lost_in_outage;
+    s.crashes += n.crashes;
+    recovery.merge(n.recovery_s);
+    w_age.merge(n.w_age_s);
   }
+  s.total_outage_s = total_outage_s_;
+  s.mean_recovery_s = recovery.mean();
+  s.max_recovery_s = recovery.max();
+  s.mean_w_age_s = w_age.mean();
+  s.max_w_age_s = w_age.max();
   s.mean_delivered_latency_s = delivered_latency.mean();
   s.max_delivered_latency_s = delivered_latency.max();
   const auto count = static_cast<double>(nodes_.size());

@@ -41,6 +41,21 @@ struct NodeMetrics {
   /// counts[w] = packets whose chosen forecast window was w.
   std::vector<std::uint32_t> window_counts;
 
+  // Fault-injection observability (all zero without a FaultPlan):
+  /// Crash/reboot events injected into this node.
+  std::uint64_t crashes{0};
+  /// Packets generated while the node was rebooting (never transmitted).
+  std::uint64_t reboot_drops{0};
+  /// Packets that exhausted their budget while the gateway was in an
+  /// outage window (subset of `exhausted`).
+  std::uint64_t lost_in_outage{0};
+  /// Time from a gateway outage's end to this node's next delivered packet
+  /// (seconds, one sample per outage the node noticed).
+  RunningStats recovery_s;
+  /// Age of the node's w_u at each BLAM window selection (seconds):
+  /// the feedback-staleness distribution.
+  RunningStats w_age_s;
+
   // Filled in by the network when a report is taken:
   double degradation{0.0};
   double cycle_linear{0.0};
@@ -80,6 +95,15 @@ struct GatewayMetrics {
   /// original already made it through — its ACK was lost). Subset of
   /// `received`; duplicates are re-acknowledged.
   std::uint64_t duplicates{0};
+  /// Uplinks arriving while the gateway was in a fault-injected outage.
+  std::uint64_t lost_outage{0};
+  /// ACKs suppressed because the gateway was in an outage at send time.
+  std::uint64_t acks_lost_outage{0};
+  /// ACKs transmitted but lost to the Gilbert-Elliott downlink channel.
+  std::uint64_t acks_lost_channel{0};
+  /// w_u recomputes skipped because the backhaul was down at the
+  /// dissemination instant.
+  std::uint64_t recomputes_skipped{0};
 };
 
 /// Aggregated view over all nodes, used to print figure rows.
@@ -98,6 +122,15 @@ struct NetworkSummary {
   BoxSummary utility_box{};
   BoxSummary latency_box{};
   double max_degradation{0.0};
+
+  // Fault-injection recovery observability (zero without a FaultPlan):
+  double total_outage_s{0.0};
+  std::uint64_t lost_in_outage{0};
+  std::uint64_t crashes{0};
+  double mean_recovery_s{0.0};
+  double max_recovery_s{0.0};
+  double mean_w_age_s{0.0};
+  double max_w_age_s{0.0};
 };
 
 class Metrics {
@@ -112,6 +145,10 @@ class Metrics {
 
   [[nodiscard]] NetworkSummary summarize() const;
 
+  /// Total gateway-outage duration over the run (copied into the summary);
+  /// set by Network::finalize_metrics when a FaultPlan is active.
+  void set_total_outage(Time total) { total_outage_s_ = total.seconds(); }
+
   /// Histogram over majority-selected forecast windows (paper Fig. 4):
   /// result[w] = number of nodes whose majority window is w.
   [[nodiscard]] std::vector<int> majority_window_histogram(int n_windows) const;
@@ -119,6 +156,7 @@ class Metrics {
  private:
   std::vector<NodeMetrics> nodes_;
   GatewayMetrics gateway_;
+  double total_outage_s_{0.0};
 };
 
 }  // namespace blam

@@ -126,6 +126,15 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
     server_->enable_adaptive_theta(tc);
   }
 
+  // The FaultPlan and all its child streams come from a dedicated fork of
+  // the scenario root, so configuring faults never perturbs the topology /
+  // shadowing / traffic draws above — and a fault-free scenario builds no
+  // plan at all, keeping it bit-identical to pre-fault builds.
+  if (config_.faults.any()) {
+    faults_ = std::make_unique<FaultPlan>(config_.faults, root.fork(0xfa17));
+    server_->attach_fault_plan(faults_.get());
+  }
+
   Gateway::Config gw;
   gw.demod_paths = config_.gateway_demod_paths;
   gw.timings = config_.timings;
@@ -134,6 +143,7 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
   for (std::size_t g = 0; g < gateway_positions.size(); ++g) {
     gateways_.push_back(std::make_unique<Gateway>(static_cast<int>(g), gateway_positions[g],
                                                   sim_, *server_, metrics_, plan_, gw));
+    if (faults_ != nullptr) gateways_.back()->attach_fault_plan(faults_.get());
   }
 
   if (config_.packet_log) packet_log_ = std::make_unique<PacketLog>();
@@ -177,6 +187,7 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
                                             model_, *thermal_, *utility_, metrics_.node(i),
                                             root.fork(0x0de + i)));
     nodes_.back()->attach_packet_log(packet_log_.get());
+    if (faults_ != nullptr) nodes_.back()->attach_fault_plan(faults_.get());
     nodes_.back()->start();
   }
 }
@@ -193,6 +204,9 @@ double Network::max_degradation() const {
 
 void Network::finalize_metrics() {
   for (const auto& node : nodes_) node->finalize_metrics(sim_.now());
+  if (faults_ != nullptr) {
+    metrics_.set_total_outage(faults_->outage_seconds_until(sim_.now()));
+  }
 }
 
 int Network::max_windows() const {

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "energy/solar.hpp"
 #include "energy/thermal.hpp"
+#include "fault/fault_plan.hpp"
 #include "lora/channel_plan.hpp"
 #include "net/gateway.hpp"
 #include "net/metrics.hpp"
@@ -52,6 +53,8 @@ class Network {
   }
   /// Non-null only when ScenarioConfig::packet_log is set.
   [[nodiscard]] const PacketLog* packet_log() const { return packet_log_.get(); }
+  /// Non-null only when at least one fault source is configured.
+  [[nodiscard]] const FaultPlan* fault_plan() const { return faults_.get(); }
   [[nodiscard]] Energy worst_case_attempt_energy() const { return worst_attempt_energy_; }
 
   /// Maximum forecast-window count across nodes (Fig. 4 histogram width).
@@ -69,6 +72,7 @@ class Network {
   std::shared_ptr<const SolarTrace> trace_;
   std::unique_ptr<UtilityFunction> utility_;
   std::unique_ptr<NetworkServer> server_;
+  std::unique_ptr<FaultPlan> faults_;
   std::vector<std::unique_ptr<Gateway>> gateways_;
   std::unique_ptr<ExternalInterferer> interferer_;
   std::unique_ptr<PacketLog> packet_log_;

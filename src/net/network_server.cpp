@@ -1,5 +1,6 @@
 #include "net/network_server.hpp"
 
+#include "fault/fault_plan.hpp"
 #include "mac/adr.hpp"
 #include "net/gateway.hpp"
 #include "net/node.hpp"
@@ -108,6 +109,13 @@ double NetworkServer::w_for(std::uint32_t node_id) const {
 }
 
 void NetworkServer::recompute() {
+  if (faults_ != nullptr && faults_->gateway_out(sim_.now())) {
+    // Backhaul down at the dissemination instant: nodes keep their stale
+    // w_u until the next period (the staleness-aware fallback on the device
+    // covers the gap).
+    if (metrics_ != nullptr) ++metrics_->gateway().recomputes_skipped;
+    return;
+  }
   service_.recompute(sim_.now());
   ++recomputes_;
 }

@@ -24,6 +24,7 @@
 
 namespace blam {
 
+class FaultPlan;
 class Gateway;
 class Node;
 
@@ -40,6 +41,10 @@ class NetworkServer {
 
   /// Attaches the metrics sink (duplicate counting).
   void attach_metrics(Metrics& metrics) { metrics_ = &metrics; }
+
+  /// Attaches the fault plan: w_u recomputes are skipped while the backhaul
+  /// is in an outage window (the dissemination never reaches the gateway).
+  void attach_fault_plan(const FaultPlan* faults) { faults_ = faults; }
 
   void register_node(std::uint32_t node_id);
 
@@ -97,6 +102,7 @@ class NetworkServer {
   std::optional<AdrController> adr_;
   std::optional<ThetaController> theta_;
   Metrics* metrics_{nullptr};
+  const FaultPlan* faults_{nullptr};
   std::unordered_map<std::uint32_t, std::uint32_t> last_seq_;
   std::unordered_map<std::uint64_t, PendingFrame> pending_;
   std::unique_ptr<PeriodicProcess> recompute_process_;

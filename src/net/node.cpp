@@ -57,9 +57,48 @@ Node::Node(const Init& init, const ScenarioConfig& config, Simulator& sim,
   metrics_->window_counts.assign(static_cast<std::size_t>(n_windows_), 0);
 }
 
+void Node::attach_fault_plan(const FaultPlan* faults) {
+  faults_ = faults;
+  if (faults_ != nullptr && faults_->config().crashes_enabled()) {
+    crash_rng_ = faults_->crash_stream(id_);
+  }
+}
+
 void Node::start() {
   record_soc(Time::zero());
   sim_->schedule_at(Time::zero(), [this] { on_period_start(); });
+  if (crash_rng_.has_value()) schedule_next_crash();
+}
+
+void Node::schedule_next_crash() {
+  const double mean_days = 365.25 / faults_->config().crash_per_year;
+  const Time gap = Time::from_days(crash_rng_->exponential(mean_days));
+  sim_->schedule_in(gap, [this] { on_crash(); });
+}
+
+void Node::on_crash() {
+  const Time now = sim_->now();
+  ++metrics_->crashes;
+  account_to(now);
+  if (pending_.active) {
+    // The in-flight packet dies with the MCU (latency penalty, no history
+    // update — the histogram it would update is being wiped anyway).
+    ++metrics_->exhausted;
+    log_event(PacketEventKind::kExhausted, pending_.transmissions - 1);
+    abort_packet(/*record_history=*/false);
+  }
+  // Volatile state is gone; everything below re-warms from boot defaults.
+  // The DegradationTracker survives: it is the simulator's ground truth of
+  // the physical battery, not MCU memory.
+  etx_ewma_ = Ewma{config_->ewma_beta};
+  retx_estimator_ = RetxEstimator{static_cast<std::size_t>(n_windows_),
+                                  config_->timings.max_transmissions - 1};
+  w_u_ = 0.0;
+  last_w_update_ = now;  // the staleness clock restarts at reboot
+  consecutive_ackless_ = 0;
+  has_samples_ = false;
+  rebooting_until_ = now + faults_->config().reboot_duration;
+  schedule_next_crash();
 }
 
 Energy Node::attempt_demand(const TxParams& params) const {
@@ -83,10 +122,15 @@ void Node::account_to(Time now) {
         std::pow(1.0 - config_->battery_self_discharge_per_month, dt.days() / 30.44);
     battery_.discharge(battery_.stored() * (1.0 - retention));
   }
-  const Energy harvest = harvester_.energy_between(last_account_, now);
+  const Energy harvest = harvest_between(last_account_, now);
   const Energy demand = config_->radio.sleep_power() * dt;
   switch_.apply(harvest, demand);
   last_account_ = now;
+}
+
+Energy Node::harvest_between(Time t0, Time t1) const {
+  if (faults_ == nullptr) return harvester_.energy_between(t0, t1);
+  return faults_->scaled_harvest(harvester_, t0, t1);
 }
 
 void Node::log_event(PacketEventKind kind, int attempt) {
@@ -143,8 +187,22 @@ void Node::on_period_start() {
     // (possible when a late window plus the full retransmission ladder
     // crosses it): fail the old packet and kill its scheduled events.
     ++metrics_->exhausted;
+    if (config_->confirmed && pending_.transmissions > 0) ++consecutive_ackless_;
+    if (faults_ != nullptr && faults_->gateway_out(now)) ++metrics_->lost_in_outage;
     log_event(PacketEventKind::kExhausted, pending_.transmissions - 1);
     abort_packet(/*record_history=*/true);
+  }
+
+  if (now < rebooting_until_) {
+    // Crash fault: the MCU is still rebooting; the sample is taken but
+    // never leaves the device.
+    ++metrics_->generated;
+    ++metrics_->reboot_drops;
+    metrics_->latency_s.add(period_.seconds());
+    pending_ = Pending{};
+    pending_.seq = next_seq_++;
+    log_event(PacketEventKind::kGenerated);
+    return;
   }
 
   ++metrics_->generated;
@@ -157,7 +215,13 @@ void Node::on_period_start() {
   ctx.battery = battery_.stored();
   ctx.battery_capacity = battery_.original_capacity();
   ctx.w_u = w_u_;
+  ctx.w_u_age_periods =
+      (now - last_w_update_).seconds() / config_->dissemination_period.seconds();
+  ctx.stale_feedback_k = config_->stale_feedback_k;
   ctx.w_b = config_->w_b;
+  if (policy_->reports_soc()) {
+    metrics_->w_age_s.add((now - last_w_update_).seconds());
+  }
   ctx.max_tx = max_packet_energy_;
   ctx.utility = utility_;
   if (policy_->needs_forecasts()) {
@@ -165,8 +229,13 @@ void Node::on_period_start() {
     cost_scratch_.clear();
     const double base_estimate = etx_ewma_.value_or(single_attempt_energy_.joules());
     for (int w = 0; w < n_windows_; ++w) {
-      harvest_scratch_.push_back(forecaster_.forecast_one(now + window * std::int64_t{w},
-                                                          now + window * std::int64_t{w + 1}));
+      const Time w0 = now + window * std::int64_t{w};
+      const Time w1 = now + window * std::int64_t{w + 1};
+      Energy fc = forecaster_.forecast_one(w0, w1);
+      // The short-horizon forecaster sees the actual sky, so a drought
+      // shows up in its predictions too.
+      if (faults_ != nullptr) fc = fc * faults_->drought_factor(w0, w1);
+      harvest_scratch_.push_back(fc);
       cost_scratch_.push_back(Energy::from_joules(
           base_estimate * retx_estimator_.expected_transmissions(static_cast<std::size_t>(w))));
     }
@@ -254,7 +323,7 @@ void Node::start_attempt() {
 
   const Energy demand = attempt_demand(params);
   const Time span = attempt_span(params);
-  const Energy harvest = harvester_.energy_between(now, now + span);
+  const Energy harvest = harvest_between(now, now + span);
   const PowerFlow flow = switch_.apply(harvest, demand);
   last_account_ = now + span;
   record_soc(last_account_);
@@ -303,8 +372,17 @@ void Node::start_attempt() {
 void Node::on_ack_timeout() {
   assert(pending_.active);
   pending_.timeout = EventHandle{};
-  if (!config_->confirmed || pending_.transmissions >= config_->timings.max_transmissions) {
+  // Bounded exponential backoff: after n consecutive ACK-less packets the
+  // transmission budget halves per failure (floor 1), so a dead gateway
+  // gets one probe per period instead of the full ladder.
+  int budget = config_->timings.max_transmissions;
+  if (config_->ack_failure_backoff && consecutive_ackless_ > 0) {
+    budget = std::max(1, budget >> std::min(consecutive_ackless_, 3));
+  }
+  if (!config_->confirmed || pending_.transmissions >= budget) {
     ++metrics_->exhausted;
+    if (config_->confirmed) ++consecutive_ackless_;
+    if (faults_ != nullptr && faults_->gateway_out(sim_->now())) ++metrics_->lost_in_outage;
     log_event(PacketEventKind::kExhausted, pending_.transmissions - 1);
     abort_packet(/*record_history=*/true);
     return;
@@ -319,6 +397,17 @@ void Node::receive_ack(const AckFrame& ack, Time ack_end) {
   sim_->cancel(pending_.timeout);
   sim_->cancel(pending_.retx);  // an ACK can arrive after a timeout already armed a retry
 
+  consecutive_ackless_ = 0;
+  if (faults_ != nullptr) {
+    // Recovery observability: the first delivery after an outage window
+    // closed measures how long this node took to get a packet through.
+    const Time outage_end = faults_->last_outage_end_before(ack_end);
+    if (outage_end > Time::zero() && outage_end > last_delivery_at_) {
+      metrics_->recovery_s.add((ack_end - outage_end).seconds());
+    }
+  }
+  last_delivery_at_ = ack_end;
+
   ++metrics_->delivered;
   log_event(PacketEventKind::kDelivered, pending_.transmissions - 1);
   const double latency = (ack_end - pending_.generated_at).seconds();
@@ -330,7 +419,10 @@ void Node::receive_ack(const AckFrame& ack, Time ack_end) {
   // scales it by the expected transmission count (Eq. 14), so tracking the
   // whole packet's energy here would double-count retransmissions.
   etx_ewma_.observe(pending_.spent.joules() / pending_.transmissions);
-  if (ack.has_degradation) w_u_ = ack.normalized_degradation;
+  if (ack.has_degradation) {
+    w_u_ = ack.normalized_degradation;
+    last_w_update_ = ack_end;
+  }
   if (ack.adr.has_value()) apply_adr(*ack.adr);
   if (ack.theta.has_value()) {
     policy_->set_soc_cap(*ack.theta);

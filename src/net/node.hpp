@@ -77,6 +77,12 @@ class Node {
   /// before start().
   void attach_packet_log(PacketLog* log) { packet_log_ = log; }
 
+  /// Attaches the fault-injection plan (nullptr = no faults): harvest
+  /// droughts scale this node's harvest, crash events are scheduled from a
+  /// dedicated per-node stream, and outage/recovery metrics activate. Call
+  /// before start().
+  void attach_fault_plan(const FaultPlan* faults);
+
   /// Schedules the first sampling period at t = 0.
   void start();
 
@@ -117,8 +123,17 @@ class Node {
   void start_attempt();
   void on_ack_timeout();
 
+  /// Crash/reboot fault: wipes volatile estimator state (EWMA, retx
+  /// histogram, w_u) and keeps the node dark for the reboot duration.
+  void on_crash();
+  void schedule_next_crash();
+
   /// Integrates sleep consumption + harvest over [last_account_, now].
   void account_to(Time now);
+
+  /// Harvest over [t0, t1], with the fault plan's drought scaling applied
+  /// when one is attached.
+  [[nodiscard]] Energy harvest_between(Time t0, Time t1) const;
 
   /// Energy one transmission attempt costs: TX airtime + both RX windows.
   [[nodiscard]] Energy attempt_demand(const TxParams& params) const;
@@ -153,6 +168,7 @@ class Node {
   const UtilityFunction* utility_;
   NodeMetrics* metrics_;
   PacketLog* packet_log_{nullptr};
+  const FaultPlan* faults_{nullptr};
 
   // --- energy subsystem ----------------------------------------------------
   Battery battery_;
@@ -171,6 +187,16 @@ class Node {
   Time last_account_{Time::zero()};
   Time last_fade_update_{Time::zero()};
   double w_u_{0.0};
+  /// When w_u was last refreshed from an ACK (staleness clock; boot = 0).
+  Time last_w_update_{Time::zero()};
+  /// Most recent delivered packet (recovery-time observability).
+  Time last_delivery_at_{Time::zero()};
+  /// Straight confirmed packets that ended without any ACK (drives the
+  /// bounded exponential backoff when ScenarioConfig::ack_failure_backoff).
+  int consecutive_ackless_{0};
+  /// Crash/reboot fault state: the node is dark until this instant.
+  Time rebooting_until_{Time::zero()};
+  std::optional<Rng> crash_rng_;
   std::uint32_t next_seq_{1};
   Energy single_attempt_energy_{};  // one TX + RX windows; EWMA warm-up value
   Energy max_packet_energy_{};      // DIF normalizer: full retransmission budget

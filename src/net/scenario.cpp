@@ -81,6 +81,10 @@ void ScenarioConfig::validate() const {
   if (supercap_leak_per_day < 0.0 || supercap_leak_per_day >= 1.0) {
     throw std::invalid_argument{"ScenarioConfig: supercap_leak_per_day in [0,1)"};
   }
+  if (stale_feedback_k < 0.0) {
+    throw std::invalid_argument{"ScenarioConfig: stale_feedback_k must be >= 0"};
+  }
+  faults.validate();
 }
 
 std::unique_ptr<MacPolicy> make_policy(const ScenarioConfig& config) {

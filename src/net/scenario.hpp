@@ -16,6 +16,7 @@
 #include "degradation/model.hpp"
 #include "energy/solar.hpp"
 #include "energy/thermal.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/interferer_config.hpp"
 #include "lora/link.hpp"
 #include "lora/params.hpp"
@@ -166,6 +167,24 @@ struct ScenarioConfig {
   ThermalConfig thermal{};
   /// How often the gateway recomputes and disseminates w_u.
   Time dissemination_period{Time::from_days(1.0)};
+
+  // --- Faults & graceful degradation ---------------------------------------
+  /// Fault-injection plan (gateway outages, ACK-loss bursts, node crashes,
+  /// harvest droughts). All-defaults means no faults: the Network then
+  /// builds no FaultPlan and results are bit-identical to a build that
+  /// predates the fault subsystem.
+  FaultPlanConfig faults{};
+  /// Staleness-aware w_u fallback: when the last gateway feedback is older
+  /// than this many dissemination periods, BLAM decays its w_u toward the
+  /// conservative (high-DIF-weight) regime over the same span instead of
+  /// trusting the stale value. 0 disables (the paper's behavior).
+  double stale_feedback_k{0.0};
+  /// Bounded exponential backoff across consecutive ACK-less packets: after
+  /// n straight packets end with no ACK, the next packet's transmission
+  /// budget is max_transmissions >> min(n, 3) (floor 1), so a node facing a
+  /// dead gateway probes once per period instead of hammering the full
+  /// retransmission ladder into it. Off by default.
+  bool ack_failure_backoff{false};
 
   // --- Diagnostics ---------------------------------------------------------
   /// Records every packet lifecycle event (memory-heavy; short runs only).

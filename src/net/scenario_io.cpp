@@ -117,6 +117,34 @@ ScenarioConfig scenario_from_config(const ConfigFile& file) {
   }
   c.degradation.k6 = file.get_double("cycle_aging_k6", c.degradation.k6);
 
+  // Fault injection & graceful degradation (all default to "no faults").
+  c.faults.outage_daily_start =
+      Time::from_hours(file.get_double("fault_outage_daily_start_h", c.faults.outage_daily_start.hours()));
+  c.faults.outage_daily_duration = Time::from_hours(
+      file.get_double("fault_outage_daily_duration_h", c.faults.outage_daily_duration.hours()));
+  c.faults.outage_random_per_day =
+      file.get_double("fault_outage_random_per_day", c.faults.outage_random_per_day);
+  c.faults.outage_random_min =
+      Time::from_minutes(file.get_double("fault_outage_min_min", c.faults.outage_random_min.minutes()));
+  c.faults.outage_random_max =
+      Time::from_minutes(file.get_double("fault_outage_max_min", c.faults.outage_random_max.minutes()));
+  c.faults.ack_loss_good = file.get_double("fault_ack_loss_good", c.faults.ack_loss_good);
+  c.faults.ack_loss_bad = file.get_double("fault_ack_loss_bad", c.faults.ack_loss_bad);
+  c.faults.ack_good_mean =
+      Time::from_minutes(file.get_double("fault_ack_good_mean_min", c.faults.ack_good_mean.minutes()));
+  c.faults.ack_bad_mean =
+      Time::from_minutes(file.get_double("fault_ack_bad_mean_min", c.faults.ack_bad_mean.minutes()));
+  c.faults.crash_per_year = file.get_double("fault_crash_per_year", c.faults.crash_per_year);
+  c.faults.reboot_duration =
+      Time::from_minutes(file.get_double("fault_reboot_duration_min", c.faults.reboot_duration.minutes()));
+  c.faults.drought_start =
+      Time::from_days(file.get_double("fault_drought_start_days", c.faults.drought_start.days()));
+  c.faults.drought_duration =
+      Time::from_days(file.get_double("fault_drought_duration_days", c.faults.drought_duration.days()));
+  c.faults.drought_scale = file.get_double("fault_drought_scale", c.faults.drought_scale);
+  c.stale_feedback_k = file.get_double("stale_feedback_k", c.stale_feedback_k);
+  c.ack_failure_backoff = file.get_bool("ack_failure_backoff", c.ack_failure_backoff);
+
   c.adaptive_theta = file.get_bool("adaptive_theta", c.adaptive_theta);
   c.packet_log = file.get_bool("packet_log", c.packet_log);
   c.label = file.get_string("label", c.policy_label());
@@ -155,6 +183,29 @@ std::string describe_scenario(const ScenarioConfig& c) {
                               : "outdoor, mean " + std::to_string(c.thermal.mean_c) + " C")
       << "\n"
       << "seed               = " << c.seed << "\n";
+  if (c.faults.any() || c.stale_feedback_k > 0.0 || c.ack_failure_backoff) {
+    out << "faults             = ";
+    if (c.faults.outage_daily_duration > Time::zero()) {
+      out << "daily outage " << c.faults.outage_daily_duration.hours() << " h @ +"
+          << c.faults.outage_daily_start.hours() << " h; ";
+    }
+    if (c.faults.outage_random_per_day > 0.0) {
+      out << c.faults.outage_random_per_day << " random outages/day; ";
+    }
+    if (c.faults.ack_loss_enabled()) {
+      out << "GE ack loss " << c.faults.ack_loss_good << "/" << c.faults.ack_loss_bad << "; ";
+    }
+    if (c.faults.crashes_enabled()) {
+      out << c.faults.crash_per_year << " crashes/node/year; ";
+    }
+    if (c.faults.drought_enabled()) {
+      out << "drought x" << c.faults.drought_scale << " for "
+          << c.faults.drought_duration.days() << " d @ day " << c.faults.drought_start.days()
+          << "; ";
+    }
+    out << "stale_k " << c.stale_feedback_k << ", backoff "
+        << (c.ack_failure_backoff ? "on" : "off") << "\n";
+  }
   return out.str();
 }
 
