@@ -20,18 +20,30 @@ int main() {
   const std::uint64_t seed = 42;
   const Time duration = Time::from_days(days);
 
-  std::printf("\n%-6s %14s %14s %12s\n", "chem", "LoRaWAN_deg", "H-50_deg", "improvement");
-  std::vector<std::vector<std::string>> rows;
-  for (const auto& [name, params] :
-       {std::pair{"LMO", DegradationParams::lmo()}, {"NMC", DegradationParams::nmc()},
-        {"LFP", DegradationParams::lfp()}}) {
+  // One grid over chemistry x protocol: cells [2k] = LoRaWAN, [2k+1] = H-50
+  // under chemistry k, with per-chemistry shared weather.
+  const std::vector<std::pair<const char*, DegradationParams>> chemistries{
+      {"LMO", DegradationParams::lmo()},
+      {"NMC", DegradationParams::nmc()},
+      {"LFP", DegradationParams::lfp()}};
+  std::vector<ScenarioCell> cells;
+  for (const auto& [name, params] : chemistries) {
     ScenarioConfig lorawan = lorawan_scenario(nodes, seed);
     lorawan.degradation = params;
     ScenarioConfig h50 = blam_scenario(nodes, 0.5, seed);
     h50.degradation = params;
     const auto trace = build_shared_trace(lorawan);
-    const ExperimentResult a = run_scenario(lorawan, duration, trace);
-    const ExperimentResult b = run_scenario(h50, duration, trace);
+    cells.push_back({std::move(lorawan), trace});
+    cells.push_back({std::move(h50), trace});
+  }
+  const std::vector<ExperimentResult> results = run_scenarios(cells, duration, sweep_options());
+
+  std::printf("\n%-6s %14s %14s %12s\n", "chem", "LoRaWAN_deg", "H-50_deg", "improvement");
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t k = 0; k < chemistries.size(); ++k) {
+    const char* name = chemistries[k].first;
+    const ExperimentResult& a = results[2 * k];
+    const ExperimentResult& b = results[2 * k + 1];
     const double improvement =
         100.0 * (1.0 - b.summary.degradation_box.mean / a.summary.degradation_box.mean);
     std::printf("%-6s %14.6f %14.6f %11.1f%%\n", name, a.summary.degradation_box.mean,

@@ -25,15 +25,23 @@ int main() {
   std::printf("\n(1) w_b sweep\n");
   std::printf("%6s %14s %12s %12s %12s\n", "w_b", "latency_del_s", "utility", "deg_mean",
               "retx");
-  std::vector<std::vector<std::string>> rows;
-  for (double w_b : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+  const std::vector<double> wbs{0.0, 0.25, 0.5, 0.75, 1.0};
+  std::vector<ScenarioCell> wb_cells;
+  for (double w_b : wbs) {
     ScenarioConfig config = blam_scenario(nodes, 0.5, seed);
     config.w_b = w_b;
-    const ExperimentResult r = run_scenario(config, duration, trace);
-    std::printf("%6.2f %14.2f %12.4f %12.6f %12.3f\n", w_b,
+    wb_cells.push_back({std::move(config), trace});
+  }
+  const std::vector<ExperimentResult> wb_results =
+      run_scenarios(wb_cells, duration, sweep_options());
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < wbs.size(); ++i) {
+    const ExperimentResult& r = wb_results[i];
+    std::printf("%6.2f %14.2f %12.4f %12.6f %12.3f\n", wbs[i],
                 r.summary.mean_delivered_latency_s, r.summary.utility_box.mean,
                 r.summary.degradation_box.mean, r.summary.mean_retx);
-    rows.push_back({CsvWriter::cell(w_b), CsvWriter::cell(r.summary.mean_delivered_latency_s),
+    rows.push_back({CsvWriter::cell(wbs[i]),
+                    CsvWriter::cell(r.summary.mean_delivered_latency_s),
                     CsvWriter::cell(r.summary.utility_box.mean),
                     CsvWriter::cell(r.summary.degradation_box.mean),
                     CsvWriter::cell(r.summary.mean_retx)});
@@ -43,14 +51,22 @@ int main() {
 
   std::printf("\n(2) utility-function sweep (w_b = 1)\n");
   std::printf("%-14s %14s %12s %12s\n", "utility", "latency_del_s", "prr", "deg_mean");
-  std::vector<std::vector<std::string>> urows;
-  for (UtilityKind kind : {UtilityKind::kLinear, UtilityKind::kExponential, UtilityKind::kStep}) {
+  const std::vector<std::pair<UtilityKind, const char*>> utilities{
+      {UtilityKind::kLinear, "linear"},
+      {UtilityKind::kExponential, "exponential"},
+      {UtilityKind::kStep, "step"}};
+  std::vector<ScenarioCell> u_cells;
+  for (const auto& [kind, name] : utilities) {
     ScenarioConfig config = blam_scenario(nodes, 0.5, seed);
     config.utility = kind;
-    const ExperimentResult r = run_scenario(config, duration, trace);
-    const char* name = kind == UtilityKind::kLinear        ? "linear"
-                       : kind == UtilityKind::kExponential ? "exponential"
-                                                           : "step";
+    u_cells.push_back({std::move(config), trace});
+  }
+  const std::vector<ExperimentResult> u_results =
+      run_scenarios(u_cells, duration, sweep_options());
+  std::vector<std::vector<std::string>> urows;
+  for (std::size_t i = 0; i < utilities.size(); ++i) {
+    const ExperimentResult& r = u_results[i];
+    const char* name = utilities[i].second;
     std::printf("%-14s %14.2f %12.4f %12.6f\n", name, r.summary.mean_delivered_latency_s,
                 r.summary.prr_box.mean, r.summary.degradation_box.mean);
     urows.push_back({name, CsvWriter::cell(r.summary.mean_delivered_latency_s),

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
 
 #include "common/csv.hpp"
 
@@ -22,16 +24,36 @@ void banner(const std::string& figure, const std::string& claim) {
   std::printf("paper: %s\n", claim.c_str());
   std::printf("scale: %s (set BLAM_FULL=1 for the paper scale)\n",
               full_scale() ? "FULL (paper)" : "laptop default");
+  std::printf("jobs:  %d sweep worker(s) (override with BLAM_JOBS)\n", resolve_jobs());
   std::printf("================================================================\n");
+}
+
+SweepOptions sweep_options() {
+  SweepOptions options;
+  options.progress = true;
+  return options;
 }
 
 std::string write_csv(const std::string& name, const std::vector<std::string>& header,
                       const std::vector<std::vector<std::string>>& rows) {
-  const std::string path = name + ".csv";
-  CsvWriter writer{path, header};
+  namespace fs = std::filesystem;
+  fs::path path{name + ".csv"};
+  if (const char* dir = std::getenv("BLAM_OUT_DIR"); dir != nullptr && dir[0] != '\0') {
+    path = fs::path{dir} / path;
+  }
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    if (ec) {
+      throw std::runtime_error{"write_csv: cannot create directory " +
+                               path.parent_path().string() + ": " + ec.message()};
+    }
+  }
+  CsvWriter writer{path.string(), header};  // throws if the file cannot be opened
   for (const auto& row : rows) writer.row(row);
-  std::printf("[csv] wrote %s (%zu rows)\n", path.c_str(), rows.size());
-  return path;
+  writer.flush();  // throws on short/failed writes instead of reporting success
+  std::printf("[csv] wrote %s (%zu rows)\n", path.string().c_str(), rows.size());
+  return path.string();
 }
 
 ProtocolSweep run_protocol_sweep(int n_nodes, double years, std::uint64_t seed) {
@@ -41,11 +63,15 @@ ProtocolSweep run_protocol_sweep(int n_nodes, double years, std::uint64_t seed) 
   const Time duration = Time::from_days(365.0 * years);
   const auto trace = build_shared_trace(lorawan_scenario(n_nodes, seed));
 
-  std::printf("running %d nodes x %.2f years x 4 protocols ...\n", n_nodes, years);
-  sweep.results.push_back(run_scenario(lorawan_scenario(n_nodes, seed), duration, trace));
+  std::vector<ScenarioCell> cells;
+  cells.push_back({lorawan_scenario(n_nodes, seed), trace});
   for (double theta : {0.05, 0.5, 1.0}) {
-    sweep.results.push_back(run_scenario(blam_scenario(n_nodes, theta, seed), duration, trace));
+    cells.push_back({blam_scenario(n_nodes, theta, seed), trace});
   }
+
+  std::printf("running %d nodes x %.2f years x %zu protocols ...\n", n_nodes, years,
+              cells.size());
+  sweep.results = run_scenarios(cells, duration, sweep_options());
   return sweep;
 }
 

@@ -1,6 +1,7 @@
 // Shared plumbing for the figure-reproduction binaries: scale selection
-// (laptop defaults vs BLAM_FULL=1 paper scale), banner printing, and the
-// four-protocol comparison harness used by Figs. 4-6.
+// (laptop defaults vs BLAM_FULL=1 paper scale), banner printing, CSV output
+// with directory handling, and the four-protocol comparison harness used by
+// Figs. 4-6 — now fanned across cores by SweepRunner (BLAM_JOBS workers).
 #pragma once
 
 #include <string>
@@ -18,10 +19,17 @@ namespace blam::bench {
 [[nodiscard]] double scaled(double paper, double laptop);
 
 /// Prints the figure banner: what the paper shows and what this binary
-/// regenerates, plus the active scale.
+/// regenerates, plus the active scale and sweep worker count.
 void banner(const std::string& figure, const std::string& claim);
 
-/// Writes a CSV next to the binary; returns the path actually written.
+/// Default sweep options for figure grids: per-cell progress on stderr,
+/// worker count from BLAM_JOBS (hardware_concurrency when unset).
+[[nodiscard]] SweepOptions sweep_options();
+
+/// Writes `name`.csv into BLAM_OUT_DIR (current directory when unset),
+/// creating the directory if missing, and returns the path actually written.
+/// Throws std::runtime_error when the directory cannot be created or the
+/// write fails — figure data silently going missing is worse than aborting.
 std::string write_csv(const std::string& name, const std::vector<std::string>& header,
                       const std::vector<std::vector<std::string>>& rows);
 
@@ -33,6 +41,10 @@ struct ProtocolSweep {
   double years{0.0};
 };
 
+/// Runs the four-protocol grid through SweepRunner. Cell (protocol, seed)
+/// results are bit-identical at any BLAM_JOBS because each cell's Network
+/// derives every random stream from its own config, and the shared solar
+/// trace is immutable.
 [[nodiscard]] ProtocolSweep run_protocol_sweep(int n_nodes, double years, std::uint64_t seed);
 
 }  // namespace blam::bench

@@ -11,26 +11,34 @@
 
 namespace {
 
-void dump(const char* name, const blam::ScenarioConfig& config) {
-  using namespace blam;
-  using namespace blam::bench;
-  Network network{config};
+struct LayoutDump {
   std::vector<std::vector<std::string>> rows;
+  std::size_t n_nodes{0};
+  std::size_t n_gateways{0};
+};
+
+// Builds the layout rows only; the CSVs are written by the joining thread
+// (CsvWriter instances must not be shared with sweep workers).
+LayoutDump dump(const blam::ScenarioConfig& config) {
+  using namespace blam;
+  Network network{config};
+  LayoutDump out;
   for (const auto& gw : network.gateways()) {
-    rows.push_back({"gateway", CsvWriter::cell(static_cast<std::int64_t>(gw->id())),
-                    CsvWriter::cell(gw->position().x_m), CsvWriter::cell(gw->position().y_m),
-                    "", "", ""});
+    out.rows.push_back({"gateway", CsvWriter::cell(static_cast<std::int64_t>(gw->id())),
+                        CsvWriter::cell(gw->position().x_m), CsvWriter::cell(gw->position().y_m),
+                        "", "", ""});
   }
   for (std::size_t i = 0; i < network.nodes().size(); ++i) {
     const Node& node = *network.nodes()[i];
-    rows.push_back({"node", CsvWriter::cell(static_cast<std::uint64_t>(node.id())),
-                    CsvWriter::cell(node.position().x_m), CsvWriter::cell(node.position().y_m),
-                    CsvWriter::cell(node.min_link_loss_db()), to_string(node.sf()),
-                    CsvWriter::cell(node.period().minutes())});
+    out.rows.push_back({"node", CsvWriter::cell(static_cast<std::uint64_t>(node.id())),
+                        CsvWriter::cell(node.position().x_m),
+                        CsvWriter::cell(node.position().y_m),
+                        CsvWriter::cell(node.min_link_loss_db()), to_string(node.sf()),
+                        CsvWriter::cell(node.period().minutes())});
   }
-  write_csv(name, {"kind", "id", "x_m", "y_m", "min_loss_db", "sf", "period_min"}, rows);
-  std::printf("%s: %zu nodes, %zu gateway(s)\n", name, network.nodes().size(),
-              network.gateways().size());
+  out.n_nodes = network.nodes().size();
+  out.n_gateways = network.gateways().size();
+  return out;
 }
 
 }  // namespace
@@ -46,12 +54,23 @@ int main() {
   testbed.radius_m = 50.0;
   testbed.min_period = Time::from_minutes(10.0);
   testbed.max_period = Time::from_minutes(10.0);
-  dump("fig10_testbed_map", testbed);
 
   // Large-scale: the 5 km disk with distance-based SFs.
   ScenarioConfig large = lorawan_scenario(scaled(500, 100), 42);
   large.sf_assignment = SfAssignment::kDistanceBased;
   large.path_loss.shadowing_sigma_db = 6.0;
-  dump("fig10_largescale_map", large);
+
+  const std::vector<std::pair<const char*, ScenarioConfig>> layouts{
+      {"fig10_testbed_map", std::move(testbed)}, {"fig10_largescale_map", std::move(large)}};
+  SweepRunner runner{sweep_options()};
+  const std::vector<LayoutDump> dumps =
+      runner.map(layouts.size(), [&](std::size_t i) { return dump(layouts[i].second); });
+
+  for (std::size_t i = 0; i < layouts.size(); ++i) {
+    write_csv(layouts[i].first, {"kind", "id", "x_m", "y_m", "min_loss_db", "sf", "period_min"},
+              dumps[i].rows);
+    std::printf("%s: %zu nodes, %zu gateway(s)\n", layouts[i].first, dumps[i].n_nodes,
+                dumps[i].n_gateways);
+  }
   return 0;
 }

@@ -20,13 +20,12 @@ int main() {
   const Time step = Time::from_days(30.44);
   const Time max_duration = Time::from_days(365.0 * 25.0);
 
-  std::vector<LifespanResult> results;
-  for (const ScenarioConfig& config :
-       {lorawan_scenario(nodes, seed), blam_scenario(nodes, 0.5, seed),
-        theta_only_scenario(nodes, 0.5, seed)}) {
-    std::printf("running %s until EoL ...\n", config.label.c_str());
-    results.push_back(run_until_eol(config, max_duration, step, trace));
-  }
+  const std::vector<ScenarioCell> cells{{lorawan_scenario(nodes, seed), trace},
+                                        {blam_scenario(nodes, 0.5, seed), trace},
+                                        {theta_only_scenario(nodes, 0.5, seed), trace}};
+  std::printf("running %zu protocols until EoL ...\n", cells.size());
+  const std::vector<LifespanResult> results =
+      run_lifespans(cells, max_duration, step, sweep_options());
 
   std::printf("\n%-10s %12s %10s %12s\n", "protocol", "days", "years", "vs LoRaWAN");
   std::vector<std::vector<std::string>> rows;

@@ -41,12 +41,26 @@ int main() {
   const int horizon = 24 * 60;  // one day of 1-minute slots
   const Time day_start = Time::from_days(120.0);
   LinearUtility utility;
-  Rng rng{77};
 
-  std::printf("\n%-22s %10s %10s %10s %10s\n", "population", "oracle_mu", "alg1_mu",
-              "oracle_drop", "alg1_drop");
-  std::vector<std::vector<std::string>> rows;
-  for (const auto& [name, w_u] : {std::pair{"fresh (w=0.05)", 0.05}, {"degraded (w=1.0)", 1.0}}) {
+  struct PopulationRow {
+    const char* name;
+    double oracle_mu;
+    double alg1_mu;
+    int oracle_drops;
+    int alg1_drops;
+  };
+
+  const std::vector<std::pair<const char*, double>> populations{
+      {"fresh (w=0.05)", 0.05}, {"degraded (w=1.0)", 1.0}};
+
+  // Each population is one sweep cell with its own (seed, cell-index) RNG
+  // fork, so the cells are independent and run under any BLAM_JOBS with
+  // bit-identical output.
+  SweepRunner runner{sweep_options()};
+  const std::vector<PopulationRow> pop_rows =
+      runner.map(populations.size(), [&](std::size_t cell) {
+    const auto& [name, w_u] = populations[cell];
+    Rng rng = Rng{77}.fork(cell);
     // Build the node population: random periods, random panel scales.
     std::vector<OracleNodeSpec> specs;
     std::vector<Harvester> harvesters;
@@ -131,11 +145,19 @@ int main() {
     }
     alg1_mu /= std::max(alg1_count, 1);
 
-    std::printf("%-22s %10.4f %10.4f %10d %10d\n", name, oracle_mu, alg1_mu, oracle_drops,
-                alg1_drops);
-    rows.push_back({name, CsvWriter::cell(oracle_mu), CsvWriter::cell(alg1_mu),
-                    CsvWriter::cell(static_cast<std::int64_t>(oracle_drops)),
-                    CsvWriter::cell(static_cast<std::int64_t>(alg1_drops))});
+    return PopulationRow{name, oracle_mu, alg1_mu, oracle_drops, alg1_drops};
+  });
+
+  // Print and persist from the joining thread, in submission order.
+  std::printf("\n%-22s %10s %10s %10s %10s\n", "population", "oracle_mu", "alg1_mu",
+              "oracle_drop", "alg1_drop");
+  std::vector<std::vector<std::string>> rows;
+  for (const PopulationRow& r : pop_rows) {
+    std::printf("%-22s %10.4f %10.4f %10d %10d\n", r.name, r.oracle_mu, r.alg1_mu,
+                r.oracle_drops, r.alg1_drops);
+    rows.push_back({r.name, CsvWriter::cell(r.oracle_mu), CsvWriter::cell(r.alg1_mu),
+                    CsvWriter::cell(static_cast<std::int64_t>(r.oracle_drops)),
+                    CsvWriter::cell(static_cast<std::int64_t>(r.alg1_drops))});
   }
   write_csv("oracle_gap", {"population", "oracle_utility", "alg1_utility", "oracle_drops",
                            "alg1_drops"},

@@ -21,6 +21,9 @@ int main() {
   const Time duration = Time::from_days(days);
   std::vector<std::vector<std::string>> rows;
   std::vector<ReplicatedSummary> summaries;
+  // The outer protocol loop stays serial: replicate() already fans its
+  // replications across the BLAM_JOBS sweep pool, and nesting pools would
+  // only oversubscribe the machine.
   for (const ScenarioConfig& config :
        {lorawan_scenario(nodes, 1000), blam_scenario(nodes, 0.5, 1000),
         greedy_green_scenario(nodes, 1000)}) {

@@ -83,7 +83,7 @@ int main() {
   base_ctx.battery_capacity = attempt * 8;
   base_ctx.max_tx = attempt * 8;
   const double ns_lorawan = time_ns_per_call(
-      [&](int) { g_sink += lorawan.select_window(base_ctx).window; }, iterations);
+      [&](int) { g_sink = g_sink + lorawan.select_window(base_ctx).window; }, iterations);
 
   // Proposed decision: forecast + cost estimation + Algorithm 1.
   const double ns_blam = time_ns_per_call(
@@ -100,7 +100,7 @@ int main() {
         ctx.w_u = 0.7;
         ctx.harvest_forecast = harvest;
         ctx.tx_cost = cost;
-        g_sink += blam.select_window(ctx).window;
+        g_sink = g_sink + blam.select_window(ctx).window;
       },
       iterations);
 

@@ -17,6 +17,11 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
   write_row(cells);
 }
 
+void CsvWriter::flush() {
+  out_.flush();
+  if (!out_) throw std::runtime_error{"CsvWriter: write failed (stream in error state)"};
+}
+
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i != 0) out_ << ',';

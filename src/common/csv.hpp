@@ -1,6 +1,11 @@
 // Minimal CSV emission used by the bench binaries so figure data can be
 // re-plotted outside the repo. Values are written with full round-trip
 // precision; strings containing separators/quotes are quoted per RFC 4180.
+//
+// Thread safety: a CsvWriter owns one output stream and is NOT safe to share
+// across sweep workers. The supported pattern (used by every figure binary)
+// is aggregate-then-write: workers produce rows, the main thread writes the
+// file after the sweep joins. The static cell() formatters are pure.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +24,11 @@ class CsvWriter {
 
   /// Appends one row; the number of cells must match the header width.
   void row(const std::vector<std::string>& cells);
+
+  /// Flushes buffered rows and throws std::runtime_error if the stream has
+  /// failed (disk full, deleted directory, ...). Call before reporting a
+  /// file as written; the destructor cannot safely signal these failures.
+  void flush();
 
   [[nodiscard]] static std::string cell(double v);
   [[nodiscard]] static std::string cell(std::int64_t v);

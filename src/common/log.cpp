@@ -2,7 +2,7 @@
 
 namespace blam {
 
-LogLevel Log::level_ = LogLevel::kWarn;
+std::atomic<LogLevel> Log::level_{LogLevel::kWarn};
 
 const char* Log::name(LogLevel level) {
   switch (level) {

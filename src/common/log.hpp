@@ -1,8 +1,15 @@
 // Lightweight leveled logger. The simulation hot path never logs above
 // kDebug, and debug logging compiles down to a level check, so the logger
 // costs one branch when disabled.
+//
+// Thread safety: the level is the only mutable state and is a relaxed
+// atomic, so sweep workers may log (and even flip the level) concurrently
+// without data races. Each emitted line is a single stdio call, which locks
+// the stream, so lines from different workers never shear mid-line, though
+// their relative order is scheduling-dependent.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -13,9 +20,9 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 
 class Log {
  public:
-  static void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] static LogLevel level() { return level_; }
-  [[nodiscard]] static bool enabled(LogLevel level) { return level >= level_; }
+  static void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  [[nodiscard]] static bool enabled(LogLevel level) { return level >= Log::level(); }
 
   template <typename... Args>
   static void debug(const char* fmt, Args... args) {
@@ -38,18 +45,19 @@ class Log {
   template <typename... Args>
   static void write(LogLevel level, const char* fmt, Args... args) {
     if (!enabled(level)) return;
-    std::fprintf(stderr, "[%s] ", name(level));
+    // One stdio call per line so concurrent sweep workers cannot shear a
+    // line into interleaved fragments (stdio locks the stream per call).
+    const std::string line = std::string{"["} + name(level) + "] " + fmt + "\n";
     if constexpr (sizeof...(Args) == 0) {
-      std::fputs(fmt, stderr);
+      std::fputs(line.c_str(), stderr);
     } else {
-      std::fprintf(stderr, fmt, args...);
+      std::fprintf(stderr, line.c_str(), args...);
     }
-    std::fputc('\n', stderr);
   }
 
   [[nodiscard]] static const char* name(LogLevel level);
 
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 }  // namespace blam

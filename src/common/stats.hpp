@@ -1,4 +1,10 @@
 // Streaming statistics used by the metrics layer and the benchmark tables.
+//
+// Thread safety: none of these accumulators synchronize — each sweep cell
+// owns its own Metrics (and therefore its own stats), which is what keeps
+// parallel grids race-free. QuantileSampler in particular sorts lazily under
+// const (mutable members), so even read-only sharing across workers is a
+// data race; aggregate per cell and merge() on the joining thread instead.
 #pragma once
 
 #include <cstddef>

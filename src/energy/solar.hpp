@@ -40,6 +40,10 @@ struct SolarTraceConfig {
   double intraday_noise{0.15};
 };
 
+/// Thread safety: a SolarTrace is immutable once constructed — power_at /
+/// energy_between only read the sample arrays — so one trace may be shared
+/// (by const reference / shared_ptr<const SolarTrace>) across sweep workers.
+/// This is the one object scenario-grid cells share; see sim/sweep_runner.hpp.
 class SolarTrace {
  public:
   /// Synthesizes a year-long (525600-minute) trace.

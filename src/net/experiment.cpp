@@ -53,4 +53,31 @@ std::shared_ptr<const SolarTrace> build_shared_trace(const ScenarioConfig& confi
   return probe.share_trace();
 }
 
+namespace {
+
+SweepOptions with_default_labels(SweepOptions options, const std::vector<ScenarioCell>& cells) {
+  if (!options.label) {
+    options.label = [&cells](std::size_t i) { return cells[i].config.policy_label(); };
+  }
+  return options;
+}
+
+}  // namespace
+
+std::vector<ExperimentResult> run_scenarios(const std::vector<ScenarioCell>& cells, Time duration,
+                                            SweepOptions options) {
+  SweepRunner runner{with_default_labels(std::move(options), cells)};
+  return runner.map(cells.size(), [&](std::size_t i) {
+    return run_scenario(cells[i].config, duration, cells[i].trace);
+  });
+}
+
+std::vector<LifespanResult> run_lifespans(const std::vector<ScenarioCell>& cells,
+                                          Time max_duration, Time step, SweepOptions options) {
+  SweepRunner runner{with_default_labels(std::move(options), cells)};
+  return runner.map(cells.size(), [&](std::size_t i) {
+    return run_until_eol(cells[i].config, max_duration, step, cells[i].trace);
+  });
+}
+
 }  // namespace blam

@@ -1,6 +1,7 @@
 // Experiment runners shared by the bench binaries and integration tests:
-// run a scenario for a fixed duration and collect the figure metrics, or run
-// until the first battery reaches end of life (Figs. 7-8).
+// run a scenario for a fixed duration and collect the figure metrics, run
+// until the first battery reaches end of life (Figs. 7-8), or fan a grid of
+// independent scenario cells across cores via SweepRunner.
 #pragma once
 
 #include <string>
@@ -10,6 +11,7 @@
 #include "energy/solar.hpp"
 #include "net/metrics.hpp"
 #include "net/scenario.hpp"
+#include "sim/sweep_runner.hpp"
 
 namespace blam {
 
@@ -48,5 +50,29 @@ struct LifespanResult {
 
 /// Builds (or reuses) the weather shared by a batch of compared scenarios.
 [[nodiscard]] std::shared_ptr<const SolarTrace> build_shared_trace(const ScenarioConfig& config);
+
+/// One cell of a scenario grid: a config plus (optionally) the weather it
+/// shares with sibling cells. A null trace lets the Network synthesize its
+/// own from config.seed. Cells are fully independent — each builds its own
+/// Network whose random streams derive from config.seed alone — so a grid
+/// can run under any worker count with bit-identical results (SolarTrace is
+/// immutable after construction and safe to share across workers).
+struct ScenarioCell {
+  ScenarioConfig config;
+  std::shared_ptr<const SolarTrace> trace;
+};
+
+/// Runs every cell for `duration` via SweepRunner (BLAM_JOBS workers by
+/// default) and returns results in cell order, bit-identical to calling
+/// run_scenario on each cell serially. Progress labels default to the cell's
+/// policy label.
+[[nodiscard]] std::vector<ExperimentResult> run_scenarios(const std::vector<ScenarioCell>& cells,
+                                                          Time duration,
+                                                          SweepOptions options = {});
+
+/// Parallel analogue of run_until_eol over a grid of cells.
+[[nodiscard]] std::vector<LifespanResult> run_lifespans(const std::vector<ScenarioCell>& cells,
+                                                        Time max_duration, Time step,
+                                                        SweepOptions options = {});
 
 }  // namespace blam

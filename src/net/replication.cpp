@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "net/experiment.hpp"
+#include "sim/sweep_runner.hpp"
 
 namespace blam {
 
@@ -82,10 +83,17 @@ ReplicatedSummary replicate(const ScenarioConfig& config, Time duration, int rep
   std::vector<double> deg_mean;
   std::vector<double> deg_max;
   std::vector<double> latency;
-  for (int r = 0; r < replications; ++r) {
-    ScenarioConfig run = config;
-    run.seed = config.seed + static_cast<std::uint64_t>(r);
-    const ExperimentResult result = run_scenario(run, duration);
+  // Replications are independent by construction (each gets its own seed and
+  // synthesizes its own weather), so fan them across the sweep pool; results
+  // come back in seed order, bit-identical to the serial loop.
+  SweepRunner runner;
+  const std::vector<ExperimentResult> results =
+      runner.map(static_cast<std::size_t>(replications), [&](std::size_t r) {
+        ScenarioConfig run = config;
+        run.seed = config.seed + static_cast<std::uint64_t>(r);
+        return run_scenario(run, duration);
+      });
+  for (const ExperimentResult& result : results) {
     prr.push_back(result.summary.mean_prr);
     min_prr.push_back(result.summary.min_prr);
     utility.push_back(result.summary.mean_utility);

@@ -1,0 +1,84 @@
+// Deterministic parallel sweep engine for scenario grids.
+//
+// The figure binaries evaluate protocol x seed x density grids whose cells
+// are mutually independent: every cell owns its Network, whose random
+// streams derive from the cell's own ScenarioConfig::seed (see common/rng.hpp),
+// and the only cross-cell object — a shared SolarTrace — is immutable after
+// construction. SweepRunner exploits that independence: it fans cell bodies
+// across a pool of worker threads pulling indices from a shared work queue,
+// while each result lands in its submission-order slot. Because no cell reads
+// or writes another cell's state, the aggregated output is bit-identical to
+// running the same cells serially, regardless of worker count or scheduling.
+//
+// Thread-safety contract for cell bodies: a body may touch only (a) state it
+// creates itself, (b) its own result slot, and (c) objects that are immutable
+// for the duration of the sweep (e.g. a shared const SolarTrace). The
+// engine provides no synchronization beyond the fork/join boundary.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace blam {
+
+/// Worker count resolution: an explicit positive `requested` wins; otherwise
+/// the BLAM_JOBS environment variable (a positive integer); otherwise
+/// std::thread::hardware_concurrency() (at least 1). A malformed or
+/// non-positive BLAM_JOBS falls through to the hardware default.
+[[nodiscard]] int resolve_jobs(int requested = 0);
+
+struct SweepOptions {
+  /// Worker threads; 0 = BLAM_JOBS env, else hardware_concurrency.
+  int jobs{0};
+  /// Print one "[sweep] k/n <label> t s" line per completed cell (stderr,
+  /// completion order — stdout stays clean for figure rows).
+  bool progress{false};
+  /// Optional cell label for progress lines, indexed by cell.
+  std::function<std::string(std::size_t)> label;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Resolved worker count (>= 1).
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Runs body(i) for i in [0, n). With jobs() == 1 this is a plain loop on
+  /// the calling thread (the serial path); otherwise min(jobs, n) workers
+  /// drain a shared index queue. If any cell throws, no further cells are
+  /// started (in-flight cells finish) and after the join the exception of
+  /// the lowest-index failed cell is rethrown.
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Maps fn over [0, n) and returns the results in submission (index)
+  /// order — bit-identical to the serial loop `for i: out[i] = fn(i)`.
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn) -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(std::is_move_constructible_v<R>, "SweepRunner::map: results must be movable");
+    std::vector<std::optional<R>> slots(n);
+    run_indexed(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  /// Wall-clock seconds each cell of the last run took, indexed by cell
+  /// (0 for cells never started because an earlier cell failed).
+  [[nodiscard]] const std::vector<double>& cell_seconds() const { return cell_seconds_; }
+
+ private:
+  int jobs_;
+  bool progress_;
+  std::function<std::string(std::size_t)> label_;
+  std::vector<double> cell_seconds_;
+};
+
+}  // namespace blam

@@ -117,7 +117,7 @@ TEST(SolarTrace, WrapsAcrossYears) {
 
 TEST(SolarTrace, RejectsReversedInterval) {
   const SolarTrace trace{small_config()};
-  EXPECT_THROW(trace.energy_between(Time::from_days(2.0), Time::from_days(1.0)),
+  EXPECT_THROW((void)trace.energy_between(Time::from_days(2.0), Time::from_days(1.0)),
                std::invalid_argument);
 }
 

@@ -1,0 +1,237 @@
+// SweepRunner: the parallel grid must be indistinguishable — bit for bit —
+// from the serial path, errors must propagate deterministically, and
+// BLAM_JOBS=1 must degenerate to a plain loop on the calling thread.
+#include "sim/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/experiment.hpp"
+
+namespace blam {
+namespace {
+
+// RAII guard so BLAM_JOBS manipulation cannot leak into other tests.
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_{name} {
+    if (const char* v = std::getenv(name)) saved_ = v;
+  }
+  ~EnvGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(SweepRunnerTest, ResolveJobsPrefersExplicitThenEnvThenHardware) {
+  const EnvGuard guard{"BLAM_JOBS"};
+  ::setenv("BLAM_JOBS", "3", 1);
+  EXPECT_EQ(resolve_jobs(), 3);
+  EXPECT_EQ(resolve_jobs(7), 7);  // explicit beats the environment
+
+  ::setenv("BLAM_JOBS", "not-a-number", 1);
+  EXPECT_GE(resolve_jobs(), 1);  // malformed falls through to hardware
+  ::setenv("BLAM_JOBS", "0", 1);
+  EXPECT_GE(resolve_jobs(), 1);  // non-positive falls through too
+  ::unsetenv("BLAM_JOBS");
+  EXPECT_GE(resolve_jobs(), 1);
+}
+
+TEST(SweepRunnerTest, MapPreservesSubmissionOrder) {
+  SweepOptions options;
+  options.jobs = 8;
+  SweepRunner runner{options};
+  const std::vector<std::size_t> out =
+      runner.map(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  EXPECT_EQ(runner.cell_seconds().size(), 100u);
+}
+
+TEST(SweepRunnerTest, SingleJobDegeneratesToSerialPathOnCallingThread) {
+  SweepOptions options;
+  options.jobs = 1;
+  SweepRunner runner{options};
+  EXPECT_EQ(runner.jobs(), 1);
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;  // unsynchronized on purpose: serial path
+  runner.run_indexed(16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SweepRunnerTest, ExceptionFromFailingCellPropagates) {
+  SweepOptions options;
+  options.jobs = 4;
+  SweepRunner runner{options};
+  EXPECT_THROW(
+      {
+        runner.run_indexed(8, [](std::size_t i) {
+          if (i == 3) throw std::runtime_error{"cell 3 failed"};
+        });
+      },
+      std::runtime_error);
+
+  try {
+    runner.run_indexed(8, [](std::size_t i) {
+      if (i == 3) throw std::runtime_error{"cell 3 failed"};
+    });
+    FAIL() << "expected the cell exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell 3 failed");
+  }
+}
+
+TEST(SweepRunnerTest, LowestIndexFailureWinsWhenSeveralCellsThrow) {
+  SweepOptions options;
+  options.jobs = 4;
+  SweepRunner runner{options};
+  // Cells 0..3 are dequeued together; 1 and 2 both throw. Whatever order the
+  // workers fail in, the reported error must be cell 1's.
+  try {
+    runner.run_indexed(4, [](std::size_t i) {
+      if (i == 1 || i == 2) throw std::runtime_error{"cell " + std::to_string(i)};
+    });
+    FAIL() << "expected a cell exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell 1");
+  }
+}
+
+TEST(SweepRunnerTest, SerialSemanticsSkipCellsAfterFailure) {
+  SweepOptions options;
+  options.jobs = 1;
+  SweepRunner runner{options};
+  std::vector<std::size_t> ran;
+  EXPECT_THROW(runner.run_indexed(8,
+                                  [&](std::size_t i) {
+                                    ran.push_back(i);
+                                    if (i == 2) throw std::runtime_error{"boom"};
+                                  }),
+               std::runtime_error);
+  EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(SweepRunnerTest, EmptyGridIsANoOp) {
+  SweepRunner runner;
+  std::atomic<int> calls{0};
+  runner.run_indexed(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_TRUE(runner.cell_seconds().empty());
+}
+
+// --- Scenario-grid determinism ---------------------------------------------
+
+[[nodiscard]] std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_bit_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(bits(a.summary.mean_prr), bits(b.summary.mean_prr));
+  EXPECT_EQ(bits(a.summary.min_prr), bits(b.summary.min_prr));
+  EXPECT_EQ(bits(a.summary.mean_utility), bits(b.summary.mean_utility));
+  EXPECT_EQ(bits(a.summary.mean_retx), bits(b.summary.mean_retx));
+  EXPECT_EQ(bits(a.summary.mean_latency_s), bits(b.summary.mean_latency_s));
+  EXPECT_EQ(bits(a.summary.total_tx_energy.joules()), bits(b.summary.total_tx_energy.joules()));
+  EXPECT_EQ(bits(a.summary.degradation_box.mean), bits(b.summary.degradation_box.mean));
+  EXPECT_EQ(bits(a.summary.max_degradation), bits(b.summary.max_degradation));
+  EXPECT_EQ(a.window_histogram, b.window_histogram);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].generated, b.nodes[i].generated);
+    EXPECT_EQ(a.nodes[i].delivered, b.nodes[i].delivered);
+    EXPECT_EQ(a.nodes[i].tx_attempts, b.nodes[i].tx_attempts);
+    EXPECT_EQ(a.nodes[i].retx, b.nodes[i].retx);
+    EXPECT_EQ(bits(a.nodes[i].tx_energy.joules()), bits(b.nodes[i].tx_energy.joules()));
+    EXPECT_EQ(bits(a.nodes[i].degradation), bits(b.nodes[i].degradation));
+    EXPECT_EQ(a.nodes[i].window_counts, b.nodes[i].window_counts);
+  }
+}
+
+// Small but real 3-protocol x 4-seed grid, per-seed shared weather — the
+// shape every figure binary sweeps.
+[[nodiscard]] std::vector<ScenarioCell> protocol_seed_grid() {
+  std::vector<ScenarioCell> cells;
+  for (std::uint64_t seed : {11, 12, 13, 14}) {
+    const auto trace = build_shared_trace(lorawan_scenario(6, seed));
+    cells.push_back({lorawan_scenario(6, seed), trace});
+    cells.push_back({blam_scenario(6, 0.5, seed), trace});
+    cells.push_back({greedy_green_scenario(6, seed), trace});
+  }
+  return cells;
+}
+
+TEST(SweepRunnerTest, ParallelGridMatchesSerialBitForBit) {
+  const std::vector<ScenarioCell> cells = protocol_seed_grid();
+  const Time duration = Time::from_days(5.0);
+
+  // Serial reference: the plain loop the figure binaries used to run.
+  std::vector<ExperimentResult> reference;
+  reference.reserve(cells.size());
+  for (const ScenarioCell& cell : cells) {
+    reference.push_back(run_scenario(cell.config, duration, cell.trace));
+  }
+
+  for (int jobs : {1, 4}) {
+    SweepOptions options;
+    options.jobs = jobs;
+    const std::vector<ExperimentResult> swept = run_scenarios(cells, duration, options);
+    ASSERT_EQ(swept.size(), reference.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < swept.size(); ++i) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs) + " cell=" + std::to_string(i));
+      expect_bit_identical(reference[i], swept[i]);
+    }
+  }
+}
+
+TEST(SweepRunnerTest, ParallelLifespanGridMatchesSerial) {
+  std::vector<ScenarioCell> cells;
+  const auto trace = build_shared_trace(lorawan_scenario(4, 21));
+  cells.push_back({lorawan_scenario(4, 21), trace});
+  cells.push_back({blam_scenario(4, 0.5, 21), trace});
+
+  const Time max_duration = Time::from_days(20.0);
+  const Time step = Time::from_days(5.0);
+  std::vector<LifespanResult> reference;
+  for (const ScenarioCell& cell : cells) {
+    reference.push_back(run_until_eol(cell.config, max_duration, step, cell.trace));
+  }
+
+  SweepOptions options;
+  options.jobs = 2;
+  const std::vector<LifespanResult> swept = run_lifespans(cells, max_duration, step, options);
+  ASSERT_EQ(swept.size(), reference.size());
+  for (std::size_t i = 0; i < swept.size(); ++i) {
+    EXPECT_EQ(swept[i].label, reference[i].label);
+    EXPECT_EQ(swept[i].reached_eol, reference[i].reached_eol);
+    EXPECT_EQ(bits(swept[i].lifespan.seconds()), bits(reference[i].lifespan.seconds()));
+    ASSERT_EQ(swept[i].max_degradation_series.size(), reference[i].max_degradation_series.size());
+    for (std::size_t k = 0; k < swept[i].max_degradation_series.size(); ++k) {
+      EXPECT_EQ(bits(swept[i].max_degradation_series[k]),
+                bits(reference[i].max_degradation_series[k]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blam
