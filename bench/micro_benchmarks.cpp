@@ -1,8 +1,13 @@
 // google-benchmark micro suite: throughput of the hot simulation primitives
 // (event queue, airtime, interference evaluation, rainflow, the solar
-// integral, and Algorithm 1 itself).
+// integral, and Algorithm 1 itself), plus a warmed-up end-to-end network
+// loop reporting events/sec and heap allocations per node period.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "core/theta_controller.hpp"
@@ -14,7 +19,38 @@
 #include "lora/airtime.hpp"
 #include "mac/codec.hpp"
 #include "lora/interference.hpp"
+#include "net/network.hpp"
 #include "sim/event_queue.hpp"
+
+// Allocation counter for the allocs/period gauge: every (non-aligned)
+// global new in this binary bumps it. The steady-state loop is expected to
+// hold this flat — see DESIGN.md §9.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+
+// GCC pairs these deletes with the *default* operator new and warns about
+// free(); the replacement news above are malloc-backed, so the pairing is
+// correct.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -179,6 +215,43 @@ void BM_RetxEstimatorRecordAndQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RetxEstimatorRecordAndQuery);
+
+void BM_NetworkSteadyState(benchmark::State& state) {
+  // The whole engine, warmed up: after the first simulated day every pool
+  // and scratch buffer has reached capacity, so the measured loop should
+  // run allocation-free. One generated packet == one node period, which is
+  // what normalizes the allocation counter.
+  ScenarioConfig config = blam_scenario(static_cast<int>(state.range(0)), /*theta=*/0.5,
+                                        /*seed=*/42);
+  Network network{config};
+  Time now = Time::from_days(1.0);
+  network.run_until(now);
+
+  const auto generated = [&network] {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < network.metrics().node_count(); ++i) {
+      total += network.metrics().node(i).generated;
+    }
+    return total;
+  };
+  const std::uint64_t events0 = network.simulator().events_executed();
+  const std::uint64_t periods0 = generated();
+  const std::uint64_t allocs0 = g_heap_allocs.load(std::memory_order_relaxed);
+
+  for (auto _ : state) {
+    now += Time::from_hours(1.0);
+    network.run_until(now);
+  }
+
+  const std::uint64_t events = network.simulator().events_executed() - events0;
+  const std::uint64_t periods = generated() - periods0;
+  const std::uint64_t allocs = g_heap_allocs.load(std::memory_order_relaxed) - allocs0;
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["allocs/period"] =
+      periods > 0 ? static_cast<double>(allocs) / static_cast<double>(periods) : 0.0;
+}
+BENCHMARK(BM_NetworkSteadyState)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
 
 void BM_ThetaControllerDelivery(benchmark::State& state) {
   ThetaController controller{ThetaController::Config{}};

@@ -16,8 +16,13 @@ void DegradationService::register_node(std::uint32_t node_id) {
 }
 
 void DegradationService::ingest(std::uint32_t node_id, std::span<const SocSample> samples) {
-  register_node(node_id);
-  DegradationTracker& tracker = *nodes_.at(node_id).tracker;
+  // Single hash lookup: try_emplace both registers an unknown node and
+  // finds a known one (this runs once per delivered SoC report).
+  auto [it, inserted] = nodes_.try_emplace(node_id);
+  if (inserted) {
+    it->second.tracker = std::make_unique<DegradationTracker>(model_, temperature_c_);
+  }
+  DegradationTracker& tracker = *it->second.tracker;
   for (const SocSample& s : samples) tracker.record(s.t, s.soc);
 }
 

@@ -1,7 +1,6 @@
 #include "core/window_selector.hpp"
 
 #include <algorithm>
-#include <numeric>
 #include <stdexcept>
 
 #include "core/dif.hpp"
@@ -31,56 +30,74 @@ void validate(const WindowSelectorInput& input) {
 
 }  // namespace
 
-std::vector<double> WindowSelector::objective_values(const WindowSelectorInput& input) const {
+std::span<const double> WindowSelector::objective_values(const WindowSelectorInput& input,
+                                                         Workspace& ws) const {
   validate(input);
   const int n = static_cast<int>(input.harvest.size());
-  std::vector<double> gamma(static_cast<std::size_t>(n));
+  ws.gamma.resize(static_cast<std::size_t>(n));
   for (int t = 0; t < n; ++t) {
     const double mu = input.utility->value(t, n);
     const double dif =
         degradation_impact_factor(input.tx_cost[static_cast<std::size_t>(t)],
                                   input.harvest[static_cast<std::size_t>(t)], input.max_tx);
-    gamma[static_cast<std::size_t>(t)] = (1.0 - mu) + input.w_u * dif * input.w_b;
+    ws.gamma[static_cast<std::size_t>(t)] = (1.0 - mu) + input.w_u * dif * input.w_b;
   }
-  return gamma;
+  return ws.gamma;
+}
+
+std::vector<double> WindowSelector::objective_values(const WindowSelectorInput& input) const {
+  Workspace ws;
+  (void)objective_values(input, ws);
+  return std::move(ws.gamma);
+}
+
+WindowSelection WindowSelector::select(const WindowSelectorInput& input, Workspace& ws) const {
+  const std::span<const double> gamma = objective_values(input, ws);
+  const int n = static_cast<int>(gamma.size());
+
+  // Algorithm 1 lines 7-11: precompute cumulative available energy
+  // E[t] = min(E[t-1], cap) + E_g[t]. The cap models Eq. 21: energy carried
+  // over between windows lives in the battery and cannot exceed the theta
+  // ceiling, while harvest within the window is usable directly.
+  ws.available.resize(gamma.size());
+  Energy carried = std::min(input.battery, input.storage_cap);
+  for (int t = 0; t < n; ++t) {
+    ws.available[static_cast<std::size_t>(t)] = carried + input.harvest[static_cast<std::size_t>(t)];
+    carried = std::min(ws.available[static_cast<std::size_t>(t)], input.storage_cap);
+  }
+
+  // Lines 12-17: first window in non-decreasing gamma order that can fund
+  // the estimated transmission cost. That window is exactly the fundable
+  // window minimizing (gamma, index) lexicographically — ties fall to the
+  // earlier window, as a stable sort would order them — so a single argmin
+  // pass replaces the pseudocode's sort: O(|T|) instead of O(|T| log |T|),
+  // with a bit-identical selection.
+  int best = -1;
+  double best_gamma = 0.0;
+  for (int t = 0; t < n; ++t) {
+    const auto ti = static_cast<std::size_t>(t);
+    if (!(ws.available[ti] - input.tx_cost[ti] > Energy::zero())) continue;
+    if (best < 0 || gamma[ti] < best_gamma) {
+      best = t;
+      best_gamma = gamma[ti];
+    }
+  }
+  if (best >= 0) {
+    const auto bi = static_cast<std::size_t>(best);
+    WindowSelection out;
+    out.success = true;
+    out.window = best;
+    out.gamma = gamma[bi];
+    out.utility = input.utility->value(best, n);
+    out.dif = degradation_impact_factor(input.tx_cost[bi], input.harvest[bi], input.max_tx);
+    return out;
+  }
+  return WindowSelection{};  // FAIL: drop the packet (Algorithm 1 line 18)
 }
 
 WindowSelection WindowSelector::select(const WindowSelectorInput& input) const {
-  const std::vector<double> gamma = objective_values(input);
-  const int n = static_cast<int>(gamma.size());
-
-  // Algorithm 1 lines 7-11: sort windows by gamma (stable: ties keep the
-  // earlier window, favouring utility) and precompute cumulative available
-  // energy E[t] = min(E[t-1], cap) + E_g[t]. The cap models Eq. 21: energy
-  // carried over between windows lives in the battery and cannot exceed the
-  // theta ceiling, while harvest within the window is usable directly.
-  std::vector<int> order(gamma.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&gamma](int a, int b) { return gamma[static_cast<std::size_t>(a)] < gamma[static_cast<std::size_t>(b)]; });
-
-  std::vector<Energy> available(gamma.size());
-  Energy carried = std::min(input.battery, input.storage_cap);
-  for (int t = 0; t < n; ++t) {
-    available[static_cast<std::size_t>(t)] = carried + input.harvest[static_cast<std::size_t>(t)];
-    carried = std::min(available[static_cast<std::size_t>(t)], input.storage_cap);
-  }
-
-  // Lines 12-17: first window in gamma order that can fund the estimated
-  // transmission cost.
-  for (int t : order) {
-    const auto ti = static_cast<std::size_t>(t);
-    if (available[ti] - input.tx_cost[ti] > Energy::zero()) {
-      WindowSelection out;
-      out.success = true;
-      out.window = t;
-      out.gamma = gamma[ti];
-      out.utility = input.utility->value(t, n);
-      out.dif = degradation_impact_factor(input.tx_cost[ti], input.harvest[ti], input.max_tx);
-      return out;
-    }
-  }
-  return WindowSelection{};  // FAIL: drop the packet (Algorithm 1 line 18)
+  Workspace ws;
+  return select(input, ws);
 }
 
 }  // namespace blam

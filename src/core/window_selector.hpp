@@ -1,5 +1,8 @@
 // On-sensor forecast-window selection — the paper's Algorithm 1, solving the
-// local battery-lifespan problem (Eqs. 18-21) in O(|T| log |T|).
+// local battery-lifespan problem (Eqs. 18-21). The pseudocode sorts windows
+// by objective (O(|T| log |T|)); since only the FIRST fundable window in that
+// order is ever used, this implementation finds it with one argmin pass in
+// O(|T|), selecting the identical window.
 //
 // For each candidate window t the objective is
 //   gamma_t = (1 - mu(t)) + w_u * DIF(t) * w_b          (Eq. 18)
@@ -54,12 +57,30 @@ struct WindowSelection {
 
 class WindowSelector {
  public:
+  /// Reusable scratch for Algorithm 1: the per-window objective values and
+  /// the cumulative-energy array. A caller on the simulation hot path owns
+  /// one Workspace per node and passes it to every select() so the
+  /// per-period run is allocation-free after warm-up; the workspace carries
+  /// no state between calls beyond vector capacity.
+  struct Workspace {
+    std::vector<double> gamma;
+    std::vector<Energy> available;
+  };
+
   /// Runs Algorithm 1. Throws std::invalid_argument on malformed input
   /// (empty/mismatched spans, missing utility, non-positive max_tx).
   [[nodiscard]] WindowSelection select(const WindowSelectorInput& input) const;
 
+  /// Allocation-free variant: identical result, scratch vectors live in
+  /// `ws` and are resized (never shrunk) to the window count.
+  [[nodiscard]] WindowSelection select(const WindowSelectorInput& input, Workspace& ws) const;
+
   /// Objective values gamma_t for each window (diagnostics / Fig. 3 bench).
   [[nodiscard]] std::vector<double> objective_values(const WindowSelectorInput& input) const;
+
+  /// Fills ws.gamma with the objective values and returns a view of it.
+  [[nodiscard]] std::span<const double> objective_values(const WindowSelectorInput& input,
+                                                         Workspace& ws) const;
 };
 
 }  // namespace blam

@@ -133,6 +133,7 @@ void SolarTrace::build_cumulative() {
     cumulative_[i + 1] = cumulative_[i] + watts_[i] * 60.0;  // W * 60 s
   }
   total_joules_ = cumulative_.back();
+  peak_watts_ = *std::max_element(watts_.begin(), watts_.end());
 }
 
 Power SolarTrace::power_at(Time t) const {
@@ -164,8 +165,43 @@ Energy SolarTrace::energy_between(Time t0, Time t1) const {
   return Energy::from_joules(joules);
 }
 
-Power SolarTrace::peak() const {
-  return Power::from_watts(*std::max_element(watts_.begin(), watts_.end()));
+void SolarTrace::energy_windows(Time start, Time window, int n, Energy* out) const {
+  if (window <= Time::zero()) {
+    throw std::invalid_argument{"SolarTrace::energy_windows: window must be positive"};
+  }
+  const Time p = period();
+  const std::int64_t whole_periods = window / p;
+  const Time rem = window % p;
+  // Walk the boundaries once: window i ends where window i+1 starts, with
+  // the identical reduced-time argument, so each cumulative_joules value is
+  // computed once and reused — the arithmetic per window matches
+  // energy_between term for term.
+  Time a = ((start % p) + p) % p;
+  double cj_a = cumulative_joules(a);
+  for (int i = 0; i < n; ++i) {
+    double joules = static_cast<double>(whole_periods) * total_joules_;
+    const Time b = a + rem;
+    if (b <= p) {
+      const double cj_b = cumulative_joules(b);
+      joules += cj_b - cj_a;
+      if (b == p) {
+        // The next window starts at the wrapped origin, where the
+        // cumulative integral restarts from exactly zero.
+        a = Time::zero();
+        cj_a = 0.0;
+      } else {
+        a = b;
+        cj_a = cj_b;
+      }
+    } else {
+      const Time a_next = b - p;
+      const double cj_next = cumulative_joules(a_next);
+      joules += (total_joules_ - cj_a) + cj_next;
+      a = a_next;
+      cj_a = cj_next;
+    }
+    out[i] = Energy::from_joules(joules);
+  }
 }
 
 Harvester::Harvester(const SolarTrace& trace, double panel_scale)
@@ -184,6 +220,11 @@ Power Harvester::power_at(Time t) const {
 
 Energy Harvester::energy_between(Time t0, Time t1) const {
   return trace_->energy_between(t0, t1) * (panel_scale_ * jitter_);
+}
+
+void Harvester::energy_windows(Time start, Time window, int n, Energy* out) const {
+  trace_->energy_windows(start, window, n, out);
+  for (int i = 0; i < n; ++i) out[i] = out[i] * (panel_scale_ * jitter_);
 }
 
 }  // namespace blam

@@ -61,9 +61,18 @@ class SolarTrace {
   /// Requires t0 <= t1.
   [[nodiscard]] Energy energy_between(Time t0, Time t1) const;
 
+  /// Energies of `n` consecutive windows [start + i*window, start +
+  /// (i+1)*window) into out[0..n). Bit-identical to calling energy_between
+  /// per window, but each shared window boundary is looked up once instead
+  /// of twice — this halves the cost of a node's per-period forecast sweep.
+  /// Requires window > 0 and room for n results in `out`.
+  void energy_windows(Time start, Time window, int n, Energy* out) const;
+
   [[nodiscard]] Time period() const { return Time::from_minutes(static_cast<double>(watts_.size())); }
   [[nodiscard]] std::size_t samples() const { return watts_.size(); }
-  [[nodiscard]] Power peak() const;
+  /// Largest per-minute sample; cached at construction (the trace is
+  /// immutable, and setup code queries this per node).
+  [[nodiscard]] Power peak() const { return Power::from_watts(peak_watts_); }
 
  private:
   explicit SolarTrace(std::vector<double> watts);
@@ -77,6 +86,7 @@ class SolarTrace {
   std::vector<double> watts_;        // per-minute power samples
   std::vector<double> cumulative_;   // cumulative_[i] = J from 0 to minute i
   double total_joules_{0.0};         // energy of one full period
+  double peak_watts_{0.0};           // max of watts_, cached for peak()
 };
 
 /// A node's view of the shared trace: panel scale (fixed per node, modeling
@@ -95,6 +105,10 @@ class Harvester {
 
   [[nodiscard]] Power power_at(Time t) const;
   [[nodiscard]] Energy energy_between(Time t0, Time t1) const;
+
+  /// Batched consecutive-window energies (see SolarTrace::energy_windows),
+  /// scaled by this node's panel factor; bit-identical to per-window calls.
+  void energy_windows(Time start, Time window, int n, Energy* out) const;
 
  private:
   const SolarTrace* trace_;

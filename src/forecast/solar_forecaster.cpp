@@ -22,6 +22,18 @@ std::vector<Energy> SolarForecaster::forecast(Time start, Time window, int n) {
   return result;
 }
 
+void SolarForecaster::forecast_windows(Time start, Time window, int n, std::vector<Energy>& out) {
+  if (n < 0) throw std::invalid_argument{"SolarForecaster: negative window count"};
+  if (window <= Time::zero()) throw std::invalid_argument{"SolarForecaster: window must be positive"};
+  out.resize(static_cast<std::size_t>(n));
+  harvester_->energy_windows(start, window, n, out.data());
+  if (error_sigma_ == 0.0) return;
+  for (int i = 0; i < n; ++i) {
+    const double factor = std::max(0.0, 1.0 + rng_.normal(0.0, error_sigma_));
+    out[static_cast<std::size_t>(i)] = out[static_cast<std::size_t>(i)] * factor;
+  }
+}
+
 Energy SolarForecaster::forecast_one(Time t0, Time t1) {
   const Energy truth = harvester_->energy_between(t0, t1);
   if (error_sigma_ == 0.0) return truth;

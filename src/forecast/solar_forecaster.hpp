@@ -26,6 +26,11 @@ class SolarForecaster {
   /// i in [0, n). Negative noise realizations clamp at zero.
   [[nodiscard]] std::vector<Energy> forecast(Time start, Time window, int n);
 
+  /// Same forecasts into a caller-owned buffer (resized to n): the results
+  /// and the noise-stream consumption are bit-identical to calling
+  /// forecast_one per window, but the trace walks its boundaries once.
+  void forecast_windows(Time start, Time window, int n, std::vector<Energy>& out);
+
   /// Forecast for a single interval.
   [[nodiscard]] Energy forecast_one(Time t0, Time t1);
 

@@ -36,7 +36,9 @@ bool InterferenceTracker::survives(const AirPacket& packet) const {
   // scaled arbitrarily: built from mW powers, consistent with the signal).
   std::array<double, 6> interference_j{};
   bool any = false;
-  for (const AirPacket& other : packets_) {
+  for (auto it = packets_.begin() + static_cast<std::ptrdiff_t>(head_); it != packets_.end();
+       ++it) {
+    const AirPacket& other = *it;
     if (other.id == packet.id || other.channel != packet.channel) continue;
     const Time overlap_start = std::max(other.start, packet.start);
     const Time overlap_end = std::min(other.end, packet.end);
@@ -63,9 +65,15 @@ void InterferenceTracker::prune(Time now) {
   // ended more than kMaxAirtime before `now` is invisible to every live or
   // future reception.
   const Time horizon = now - kMaxAirtime;
-  while (!packets_.empty() && packets_.front().end < horizon &&
-         packets_.front().start < horizon) {
-    packets_.pop_front();
+  while (head_ < packets_.size() && packets_[head_].end < horizon &&
+         packets_[head_].start < horizon) {
+    ++head_;
+  }
+  // Compact once the dead prefix dominates: erase shifts the live tail
+  // within the existing capacity, so no reallocation happens.
+  if (head_ >= 64 && head_ * 2 >= packets_.size()) {
+    packets_.erase(packets_.begin(), packets_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
   }
 }
 

@@ -9,8 +9,8 @@
 // the negative off-diagonal entries.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/units.hpp"
@@ -47,11 +47,15 @@ class InterferenceTracker {
   /// or after `now` minus the maximum packet airtime. Call opportunistically.
   void prune(Time now);
 
-  [[nodiscard]] std::size_t tracked() const { return packets_.size(); }
+  [[nodiscard]] std::size_t tracked() const { return packets_.size() - head_; }
 
  private:
-  // Packets ordered by start time (arrival order). Bounded by prune().
-  std::deque<AirPacket> packets_;
+  // Packets ordered by start time (arrival order); live entries are
+  // [head_, size()). prune() advances head_ and compacts occasionally so
+  // the vector keeps its capacity — steady-state add() never allocates
+  // (a deque would churn its backing blocks as receptions drain).
+  std::vector<AirPacket> packets_;
+  std::size_t head_{0};
 };
 
 }  // namespace blam

@@ -22,7 +22,8 @@ MacDecision BlamMac::select_window(const WindowContext& ctx) {
   input.tx_cost = ctx.tx_cost;
   input.max_tx = ctx.max_tx;
   input.utility = ctx.utility;
-  last_ = selector_.select(input);
+  last_ = ctx.workspace != nullptr ? selector_.select(input, *ctx.workspace)
+                                   : selector_.select(input);
   return MacDecision{last_.success, last_.success ? last_.window : 0};
 }
 

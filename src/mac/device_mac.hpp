@@ -13,6 +13,7 @@
 
 #include "common/units.hpp"
 #include "core/utility.hpp"
+#include "core/window_selector.hpp"
 
 namespace blam {
 
@@ -45,6 +46,9 @@ struct WindowContext {
   /// Worst-case one-packet energy (DIF normalizer).
   Energy max_tx{};
   const UtilityFunction* utility{nullptr};
+  /// Optional caller-owned scratch for Algorithm 1 (hot-path nodes own one
+  /// alongside their forecast buffers); null = the policy allocates.
+  WindowSelector::Workspace* workspace{nullptr};
 };
 
 struct MacDecision {

@@ -26,7 +26,7 @@ std::optional<AckPlan> AckPlanner::plan(Time uplink_end, SpreadingFactor uplink_
   {
     const TxParams params = ack_params(uplink_sf, rx1_bandwidth_hz_, ack_bytes);
     const Time start = uplink_end + timings_.rx1_delay;
-    const Time end = start + time_on_air(params);
+    const Time end = start + timing_.time_on_air(params);
     if (!conflicts(start, end)) {
       reserve(start, end);
       return AckPlan{start,       end, plan_.rx1_channel(uplink_channel),
@@ -38,7 +38,7 @@ std::optional<AckPlan> AckPlanner::plan(Time uplink_end, SpreadingFactor uplink_
   {
     const TxParams params = ack_params(plan_.rx2_spreading_factor(), plan_.rx2_bandwidth_hz(), ack_bytes);
     const Time start = uplink_end + timings_.rx2_delay;
-    const Time end = start + time_on_air(params);
+    const Time end = start + timing_.time_on_air(params);
     if (!conflicts(start, end)) {
       reserve(start, end);
       return AckPlan{start, end, plan_.rx2_channel(), plan_.rx2_spreading_factor(),
@@ -53,9 +53,10 @@ bool AckPlanner::conflicts(Time start, Time end) const { return overlaps_tx(star
 bool AckPlanner::overlaps_tx(Time start, Time end) const {
   // Reservations are few (pruned continuously); linear scan is fine and
   // avoids an interval-tree dependency.
-  for (const Interval& r : reservations_) {
-    if (r.start < end && start < r.end) return true;
-    if (r.start >= end) break;  // sorted by start: no later overlap possible
+  for (auto it = reservations_.begin() + static_cast<std::ptrdiff_t>(head_);
+       it != reservations_.end(); ++it) {
+    if (it->start < end && start < it->end) return true;
+    if (it->start >= end) break;  // sorted by start: no later overlap possible
   }
   return false;
 }
@@ -63,13 +64,19 @@ bool AckPlanner::overlaps_tx(Time start, Time end) const {
 void AckPlanner::reserve(Time start, Time end) {
   const Interval interval{start, end};
   const auto it = std::upper_bound(
-      reservations_.begin(), reservations_.end(), interval,
+      reservations_.begin() + static_cast<std::ptrdiff_t>(head_), reservations_.end(), interval,
       [](const Interval& a, const Interval& b) { return a.start < b.start; });
   reservations_.insert(it, interval);
 }
 
 void AckPlanner::prune(Time now) {
-  while (!reservations_.empty() && reservations_.front().end < now) reservations_.pop_front();
+  while (head_ < reservations_.size() && reservations_[head_].end < now) ++head_;
+  // Reclaim the dead prefix once it dominates the buffer; erase shifts the
+  // live tail within the existing capacity, so no reallocation happens.
+  if (head_ >= 64 && head_ * 2 >= reservations_.size()) {
+    reservations_.erase(reservations_.begin(), reservations_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
 }
 
 }  // namespace blam

@@ -11,13 +11,15 @@
 // uplink receptions (half-duplex loss, a major ALOHA bottleneck at scale).
 #pragma once
 
-#include <deque>
+#include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "common/units.hpp"
 #include "lora/airtime.hpp"
 #include "lora/channel_plan.hpp"
 #include "lora/params.hpp"
+#include "lora/tx_timing_cache.hpp"
 
 namespace blam {
 
@@ -51,7 +53,7 @@ class AckPlanner {
   void prune(Time now);
 
   [[nodiscard]] double downlink_tx_dbm() const { return downlink_tx_dbm_; }
-  [[nodiscard]] std::size_t reservations() const { return reservations_.size(); }
+  [[nodiscard]] std::size_t reservations() const { return reservations_.size() - head_; }
 
  private:
   struct Interval {
@@ -68,8 +70,14 @@ class AckPlanner {
   ChannelPlan plan_;
   double downlink_tx_dbm_;
   double rx1_bandwidth_hz_;
-  // Reservations kept sorted by start time.
-  std::deque<Interval> reservations_;
+  /// ACK airtimes recur for the same (SF, length) pairs; memoized.
+  TxTimingCache timing_;
+  // Reservations kept sorted by start time. Live entries are
+  // [head_, size()); prune() advances head_ and compacts occasionally, so
+  // the vector's capacity is retained and steady-state booking never
+  // allocates (a deque here would churn its backing blocks on every prune).
+  std::vector<Interval> reservations_;
+  std::size_t head_{0};
 };
 
 }  // namespace blam

@@ -16,9 +16,7 @@ Gateway::Gateway(int id, Position position, Simulator& sim, NetworkServer& serve
       metrics_{metrics},
       plan_{plan},
       config_{config},
-      ack_planner_{config.timings, plan, config.downlink_tx_dbm, config.rx1_bandwidth_hz} {}
-
-Time Gateway::max_ack_end_delay() const {
+      ack_planner_{config.timings, plan, config.downlink_tx_dbm, config.rx1_bandwidth_hz} {
   TxParams rx1;
   rx1.sf = SpreadingFactor::kSF12;
   rx1.bandwidth_hz = config_.rx1_bandwidth_hz;
@@ -29,8 +27,8 @@ Time Gateway::max_ack_end_delay() const {
   rx2.sf = plan_.rx2_spreading_factor();
   rx2.bandwidth_hz = plan_.rx2_bandwidth_hz();
 
-  return std::max(config_.timings.rx1_delay + time_on_air(rx1.with_auto_ldro()),
-                  config_.timings.rx2_delay + time_on_air(rx2.with_auto_ldro()));
+  max_ack_end_delay_ = std::max(config_.timings.rx1_delay + time_on_air(rx1.with_auto_ldro()),
+                                config_.timings.rx2_delay + time_on_air(rx2.with_auto_ldro()));
 }
 
 void Gateway::on_uplink(Node& node, const UplinkFrame& frame, const TxParams& params, int channel,
@@ -50,7 +48,7 @@ void Gateway::on_uplink(Node& node, const UplinkFrame& frame, const TxParams& pa
   AirPacket packet;
   packet.id = next_packet_id_++;
   packet.start = now;
-  packet.end = now + time_on_air(params);
+  packet.end = now + timing_.time_on_air(params);
   packet.rx_power_dbm = rx_power_dbm;
   packet.sf = params.sf;
   packet.channel = channel;
@@ -76,29 +74,63 @@ void Gateway::on_uplink(Node& node, const UplinkFrame& frame, const TxParams& pa
   }
 
   ++busy_paths_;
-  sim_.schedule_at(packet.end, [this, &node, frame, packet]() mutable {
-    finish_reception(node, std::move(frame), packet);
-  });
+  // The frame (with its SoC-report vector) parks in a pooled slot and the
+  // callback captures only {this, slot}: it fits the event queue's inline
+  // capture budget, and the slot's vector capacity is reused across packets.
+  const std::uint32_t slot = acquire_rx_slot();
+  PendingReception& rx = rx_pool_[slot];
+  rx.node = &node;
+  rx.frame = frame;
+  rx.packet = packet;
+  sim_.schedule_at(packet.end, [this, slot] { finish_reception(slot); });
 }
 
-void Gateway::finish_reception(Node& node, UplinkFrame frame, AirPacket packet) {
+std::uint32_t Gateway::acquire_rx_slot() {
+  if (!rx_free_.empty()) {
+    const std::uint32_t slot = rx_free_.back();
+    rx_free_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(rx_pool_.size());
+  rx_pool_.emplace_back();
+  return slot;
+}
+
+std::uint32_t Gateway::acquire_ack_slot() {
+  if (!ack_free_.empty()) {
+    const std::uint32_t slot = ack_free_.back();
+    ack_free_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(ack_pool_.size());
+  ack_pool_.emplace_back();
+  return slot;
+}
+
+void Gateway::finish_reception(std::uint32_t rx_slot) {
+  PendingReception& rx = rx_pool_[rx_slot];
+  Node& node = *rx.node;
+  const AirPacket packet = rx.packet;
   GatewayMetrics& gm = metrics_.gateway();
   --busy_paths_;
 
   // An ACK booked after this reception started would have destroyed it.
   if (ack_planner_.overlaps_tx(packet.start, packet.end)) {
     ++gm.lost_half_duplex;
+    rx_free_.push_back(rx_slot);
     return;
   }
   if (!interference_.survives(packet)) {
     ++gm.lost_interference;
+    rx_free_.push_back(rx_slot);
     return;
   }
   ++gm.received;
 
   // The server aggregates copies of this frame across gateways and picks
   // the downlink gateway (strongest copy).
-  server_.on_gateway_receive(*this, node, frame, packet);
+  server_.on_gateway_receive(*this, node, rx.frame, packet);
+  rx_free_.push_back(rx_slot);
 }
 
 void Gateway::inject_interference(AirPacket packet) {
@@ -149,7 +181,21 @@ void Gateway::send_ack(Node& node, const UplinkFrame& frame, Time uplink_end, Sp
 
   ++gm.acks_sent;
   if (plan->rx2) ++gm.acks_rx2;
-  sim_.schedule_at(plan->tx_end, [&node, ack, end = plan->tx_end] { node.receive_ack(ack, end); });
+  const std::uint32_t slot = acquire_ack_slot();
+  PendingAck& pending = ack_pool_[slot];
+  pending.node = &node;
+  pending.ack = ack;
+  pending.end = plan->tx_end;
+  sim_.schedule_at(plan->tx_end, [this, slot] { deliver_ack(slot); });
+}
+
+void Gateway::deliver_ack(std::uint32_t ack_slot) {
+  PendingAck& pending = ack_pool_[ack_slot];
+  Node* node = pending.node;
+  const AckFrame ack = pending.ack;
+  const Time end = pending.end;
+  ack_free_.push_back(ack_slot);
+  node->receive_ack(ack, end);
 }
 
 }  // namespace blam

@@ -17,11 +17,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/units.hpp"
 #include "lora/channel_plan.hpp"
 #include "lora/interference.hpp"
 #include "lora/link.hpp"
+#include "lora/tx_timing_cache.hpp"
 #include "mac/frame.hpp"
 #include "mac/gateway_mac.hpp"
 #include "net/metrics.hpp"
@@ -72,11 +74,34 @@ class Gateway {
 
   /// Worst-case delay from uplink end to ACK airtime end, across the RX1
   /// (slowest SF at the RX1 bandwidth) and RX2 options — nodes place their
-  /// ACK-timeout after this.
-  [[nodiscard]] Time max_ack_end_delay() const;
+  /// ACK-timeout after this. Constant per gateway, computed at construction
+  /// (nodes query it on every confirmed attempt).
+  [[nodiscard]] Time max_ack_end_delay() const { return max_ack_end_delay_; }
 
  private:
-  void finish_reception(Node& node, UplinkFrame frame, AirPacket packet);
+  void finish_reception(std::uint32_t rx_slot);
+  void deliver_ack(std::uint32_t ack_slot);
+
+  /// Reception in flight between uplink end and the capture decision. Slots
+  /// are pooled so the scheduled callback captures only {this, index} (the
+  /// event queue's inline budget) and the frame's SoC-report vector keeps
+  /// its capacity across packets — the reception path never allocates in the
+  /// steady state.
+  struct PendingReception {
+    Node* node{nullptr};
+    UplinkFrame frame;
+    AirPacket packet;
+  };
+
+  /// ACK in flight between the downlink decision and its airtime end.
+  struct PendingAck {
+    Node* node{nullptr};
+    AckFrame ack;
+    Time end;
+  };
+
+  [[nodiscard]] std::uint32_t acquire_rx_slot();
+  [[nodiscard]] std::uint32_t acquire_ack_slot();
 
   int id_;
   Position position_;
@@ -90,6 +115,12 @@ class Gateway {
   AckPlanner ack_planner_;
   int busy_paths_{0};
   std::uint64_t next_packet_id_{1};
+  Time max_ack_end_delay_{};
+  TxTimingCache timing_;
+  std::vector<PendingReception> rx_pool_;
+  std::vector<std::uint32_t> rx_free_;
+  std::vector<PendingAck> ack_pool_;
+  std::vector<std::uint32_t> ack_free_;
 };
 
 }  // namespace blam

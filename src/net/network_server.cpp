@@ -9,7 +9,7 @@ namespace blam {
 
 NetworkServer::NetworkServer(Simulator& sim, const DegradationModel& model, double temperature_c,
                              Time dissemination_period)
-    : sim_{sim}, service_{model, temperature_c} {
+    : sim_{sim}, service_{model, temperature_c}, noise_floor_125k_dbm_{noise_floor_dbm(125e3)} {
   recompute_process_ = std::make_unique<PeriodicProcess>(
       sim, dissemination_period, dissemination_period, [this] { recompute(); });
 }
@@ -34,11 +34,35 @@ std::optional<AdrCommand> NetworkServer::adr_advice(std::uint32_t node_id,
 
 void NetworkServer::register_node(std::uint32_t node_id) { service_.register_node(node_id); }
 
+std::uint32_t NetworkServer::acquire_pending_slot() {
+  if (!pending_free_.empty()) {
+    const std::uint32_t slot = pending_free_.back();
+    pending_free_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(pending_pool_.size());
+  pending_pool_.emplace_back();
+  return slot;
+}
+
 void NetworkServer::on_gateway_receive(Gateway& gateway, Node& node, const UplinkFrame& frame,
                                        const AirPacket& packet) {
   const std::uint64_t key = frame_key(frame);
-  auto [it, inserted] = pending_.try_emplace(key);
-  PendingFrame& pending = it->second;
+  std::uint32_t slot = EventHandle::kNullSlot;
+  for (const auto& [live_key, live_slot] : pending_live_) {
+    if (live_key == key) {
+      slot = live_slot;
+      break;
+    }
+  }
+  const bool inserted = slot == EventHandle::kNullSlot;
+  if (inserted) {
+    slot = acquire_pending_slot();
+    pending_live_.emplace_back(key, slot);
+    pending_pool_[slot].live = true;
+    pending_pool_[slot].best_rx_dbm = 0.0;
+  }
+  PendingFrame& pending = pending_pool_[slot];
   if (inserted || packet.rx_power_dbm > pending.best_rx_dbm) {
     pending.gateway = &gateway;
     pending.node = &node;
@@ -51,17 +75,23 @@ void NetworkServer::on_gateway_receive(Gateway& gateway, Node& node, const Uplin
   if (inserted) {
     // All copies end at the same instant (same airtime); 1 ms collects them
     // all while staying far inside the RX1 delay.
-    sim_.schedule_in(Time::from_ms(1), [this, key] { decide(key); });
+    sim_.schedule_in(Time::from_ms(1), [this, slot] { decide(slot); });
   }
 }
 
-void NetworkServer::decide(std::uint64_t key) {
-  const auto it = pending_.find(key);
-  if (it == pending_.end()) return;
-  PendingFrame pending = std::move(it->second);
-  pending_.erase(it);
+void NetworkServer::decide(std::uint32_t slot) {
+  PendingFrame& pending = pending_pool_[slot];
+  if (!pending.live) return;
+  pending.live = false;
+  for (auto it = pending_live_.begin(); it != pending_live_.end(); ++it) {
+    if (it->second == slot) {
+      *it = pending_live_.back();
+      pending_live_.pop_back();
+      break;
+    }
+  }
 
-  observe_snr(pending.frame.node_id, pending.best_rx_dbm - noise_floor_dbm(125e3));
+  observe_snr(pending.frame.node_id, pending.best_rx_dbm - noise_floor_125k_dbm_);
   std::optional<double> theta_update;
   if (theta_.has_value()) {
     theta_update = theta_->on_delivery(pending.frame.node_id, pending.frame.seq);
@@ -82,21 +112,26 @@ void NetworkServer::decide(std::uint64_t key) {
     note.seq = pending.frame.seq;
     Node* node = pending.node;
     const Time at = pending.uplink_end;
+    pending_free_.push_back(slot);
     node->receive_ack(note, at);
     return;
   }
   pending.gateway->send_ack(*pending.node, pending.frame, pending.uplink_end, pending.sf,
                             pending.channel, theta_update);
+  pending_free_.push_back(slot);
 }
 
 bool NetworkServer::on_uplink(const UplinkFrame& frame) {
-  auto [it, inserted] = last_seq_.try_emplace(frame.node_id, frame.seq);
-  if (!inserted) {
+  if (frame.node_id >= last_seq_.size()) {
+    last_seq_.resize(static_cast<std::size_t>(frame.node_id) + 1, -1);
+  }
+  std::int64_t& seen = last_seq_[frame.node_id];
+  if (seen >= 0) {
     // Sequence numbers increase monotonically per node; an equal or older
     // one is a duplicate (late retransmission).
-    if (frame.seq <= it->second) return false;
-    it->second = frame.seq;
+    if (static_cast<std::int64_t>(frame.seq) <= seen) return false;
   }
+  seen = frame.seq;
   if (!frame.soc_report.empty()) {
     service_.ingest(frame.node_id, frame.soc_report);
   }

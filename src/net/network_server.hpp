@@ -11,7 +11,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/units.hpp"
 #include "core/degradation_service.hpp"
@@ -78,6 +79,10 @@ class NetworkServer {
   [[nodiscard]] DegradationService& service() { return service_; }
 
  private:
+  /// Copies of one uplink collected across gateways for 1 ms. Instances
+  /// live in a recycled slot pool: the decide() callback captures only
+  /// {this, slot} and the frame's SoC-report vector keeps its capacity
+  /// across uplinks, so the steady-state aggregation path never allocates.
   struct PendingFrame {
     Gateway* gateway{nullptr};
     Node* node{nullptr};
@@ -86,10 +91,12 @@ class NetworkServer {
     Time uplink_end{};
     SpreadingFactor sf{SpreadingFactor::kSF10};
     int channel{0};
+    bool live{false};
   };
 
   void recompute();
-  void decide(std::uint64_t key);
+  void decide(std::uint32_t slot);
+  [[nodiscard]] std::uint32_t acquire_pending_slot();
 
   [[nodiscard]] static std::uint64_t frame_key(const UplinkFrame& frame) {
     return (static_cast<std::uint64_t>(frame.node_id) << 40) |
@@ -103,10 +110,20 @@ class NetworkServer {
   std::optional<ThetaController> theta_;
   Metrics* metrics_{nullptr};
   const FaultPlan* faults_{nullptr};
-  std::unordered_map<std::uint32_t, std::uint32_t> last_seq_;
-  std::unordered_map<std::uint64_t, PendingFrame> pending_;
+  /// Highest seq delivered per node, indexed by node id (-1 = none yet).
+  /// Node ids are dense in every scenario, so a flat vector replaces the
+  /// hash lookup that sat on the per-delivery path.
+  std::vector<std::int64_t> last_seq_;
+  std::vector<PendingFrame> pending_pool_;
+  std::vector<std::uint32_t> pending_free_;
+  /// (frame key, pool slot) for frames currently aggregating; at most a
+  /// handful are in flight at once, so lookup is a linear scan.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> pending_live_;
   std::unique_ptr<PeriodicProcess> recompute_process_;
   std::uint64_t recomputes_{0};
+  /// Thermal noise floor at the 125 kHz uplink bandwidth (constant per run,
+  /// previously recomputed — log10 and all — for every delivered frame).
+  double noise_floor_125k_dbm_;
 };
 
 }  // namespace blam

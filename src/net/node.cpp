@@ -42,6 +42,8 @@ Node::Node(const Init& init, const ScenarioConfig& config, Simulator& sim,
   tx_params_.tx_power_dbm = config.tx_power_dbm;
   tx_params_ = tx_params_.with_auto_ldro();
   switch_.set_soc_cap(policy_->soc_cap());
+  listen_energy_ =
+      config_->radio.rx_power() * (config_->timings.rx_window_duration * std::int64_t{2});
   single_attempt_energy_ = attempt_demand(tx_params_);
   if (config.supercap_tx_buffer > 0.0) {
     supercap_.emplace(single_attempt_energy_ * config.supercap_tx_buffer,
@@ -102,15 +104,14 @@ void Node::on_crash() {
 }
 
 Energy Node::attempt_demand(const TxParams& params) const {
-  if (!config_->confirmed) return tx_energy(params, config_->radio);  // no RX windows
-  const Energy listen =
-      config_->radio.rx_power() * (config_->timings.rx_window_duration * std::int64_t{2});
-  return tx_energy(params, config_->radio) + listen;
+  if (!config_->confirmed) return timing_.tx_energy(params, config_->radio);  // no RX windows
+  return timing_.tx_energy(params, config_->radio) + listen_energy_;
 }
 
 Time Node::attempt_span(const TxParams& params) const {
-  if (!config_->confirmed) return time_on_air(params);
-  return time_on_air(params) + config_->timings.rx2_delay + config_->timings.rx_window_duration;
+  if (!config_->confirmed) return timing_.time_on_air(params);
+  return timing_.time_on_air(params) + config_->timings.rx2_delay +
+         config_->timings.rx_window_duration;
 }
 
 void Node::account_to(Time now) {
@@ -224,18 +225,20 @@ void Node::on_period_start() {
   }
   ctx.max_tx = max_packet_energy_;
   ctx.utility = utility_;
+  ctx.workspace = &selector_workspace_;
   if (policy_->needs_forecasts()) {
-    harvest_scratch_.clear();
     cost_scratch_.clear();
     const double base_estimate = etx_ewma_.value_or(single_attempt_energy_.joules());
+    forecaster_.forecast_windows(now, window, n_windows_, harvest_scratch_);
     for (int w = 0; w < n_windows_; ++w) {
-      const Time w0 = now + window * std::int64_t{w};
-      const Time w1 = now + window * std::int64_t{w + 1};
-      Energy fc = forecaster_.forecast_one(w0, w1);
-      // The short-horizon forecaster sees the actual sky, so a drought
-      // shows up in its predictions too.
-      if (faults_ != nullptr) fc = fc * faults_->drought_factor(w0, w1);
-      harvest_scratch_.push_back(fc);
+      if (faults_ != nullptr) {
+        // The short-horizon forecaster sees the actual sky, so a drought
+        // shows up in its predictions too.
+        const Time w0 = now + window * std::int64_t{w};
+        const Time w1 = now + window * std::int64_t{w + 1};
+        harvest_scratch_[static_cast<std::size_t>(w)] =
+            harvest_scratch_[static_cast<std::size_t>(w)] * faults_->drought_factor(w0, w1);
+      }
       cost_scratch_.push_back(Energy::from_joules(
           base_estimate * retx_estimator_.expected_transmissions(static_cast<std::size_t>(w))));
     }
@@ -279,8 +282,8 @@ void Node::on_period_start() {
   sim_->schedule_at(tx_at, [this] { start_attempt(); });
 }
 
-UplinkFrame Node::build_frame() {
-  UplinkFrame frame;
+const UplinkFrame& Node::build_frame() {
+  UplinkFrame& frame = frame_scratch_;
   frame.node_id = id_;
   frame.seq = pending_.seq;
   frame.attempt = pending_.transmissions;
@@ -288,6 +291,7 @@ UplinkFrame Node::build_frame() {
   frame.selected_window = pending_.window;
   frame.app_payload_bytes = config_->payload_bytes;
   frame.confirmed = config_->confirmed;
+  frame.soc_report.clear();
   if (policy_->reports_soc() && has_samples_) {
     frame.soc_report.push_back(period_start_sample_);
     if (latest_sample_.t > period_start_sample_.t) frame.soc_report.push_back(latest_sample_);
@@ -317,7 +321,7 @@ void Node::start_attempt() {
   }
   account_to(now);
 
-  UplinkFrame frame = build_frame();
+  const UplinkFrame& frame = build_frame();
   TxParams params = tx_params_;
   params.payload_bytes = frame.total_bytes();
 
@@ -341,8 +345,8 @@ void Node::start_attempt() {
   ++metrics_->tx_attempts;
   if (pending_.transmissions > 1) ++metrics_->retx;
   log_event(PacketEventKind::kTxStart, pending_.transmissions - 1);
-  duty_cycle_.record(now, time_on_air(params));
-  const Energy radiated = tx_energy(params, config_->radio);
+  duty_cycle_.record(now, timing_.time_on_air(params));
+  const Energy radiated = timing_.tx_energy(params, config_->radio);
   metrics_->tx_energy += radiated;
   pending_.spent += radiated;
 
@@ -364,8 +368,9 @@ void Node::start_attempt() {
   // resolves the packet or the timeout counts it lost.
   const Time timeout_at =
       config_->confirmed
-          ? now + time_on_air(params) + (*gateways_)[0]->max_ack_end_delay() + Time::from_ms(50)
-          : now + time_on_air(params) + Time::from_ms(5);
+          ? now + timing_.time_on_air(params) + (*gateways_)[0]->max_ack_end_delay() +
+                Time::from_ms(50)
+          : now + timing_.time_on_air(params) + Time::from_ms(5);
   pending_.timeout = sim_->schedule_at(timeout_at, [this] { on_ack_timeout(); });
 }
 

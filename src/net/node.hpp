@@ -39,6 +39,7 @@
 #include "forecast/solar_forecaster.hpp"
 #include "lora/airtime.hpp"
 #include "lora/channel_plan.hpp"
+#include "lora/tx_timing_cache.hpp"
 #include "lora/link.hpp"
 #include "mac/device_mac.hpp"
 #include "mac/duty_cycle.hpp"
@@ -150,7 +151,9 @@ class Node {
   /// Shared failure path: latency penalty, optional estimator updates.
   /// Callers bump the counter matching the failure cause.
   void abort_packet(bool record_history);
-  [[nodiscard]] UplinkFrame build_frame();
+  /// Fills and returns the reusable frame scratch (valid until the next
+  /// build_frame call); receivers copy what they keep.
+  [[nodiscard]] const UplinkFrame& build_frame();
 
   // --- identity / configuration -------------------------------------------
   std::uint32_t id_;
@@ -200,6 +203,10 @@ class Node {
   std::uint32_t next_seq_{1};
   Energy single_attempt_energy_{};  // one TX + RX windows; EWMA warm-up value
   Energy max_packet_energy_{};      // DIF normalizer: full retransmission budget
+  Energy listen_energy_{};          // both class-A RX windows (constant per run)
+  /// Memoized airtime/energy per TxParams; mutable because the const cost
+  /// estimators (attempt_demand/attempt_span) share it with start_attempt().
+  mutable TxTimingCache timing_;
 
   struct Pending {
     bool active{false};
@@ -223,6 +230,8 @@ class Node {
   // Scratch buffers reused every period (no per-period allocation).
   std::vector<Energy> harvest_scratch_;
   std::vector<Energy> cost_scratch_;
+  WindowSelector::Workspace selector_workspace_;
+  UplinkFrame frame_scratch_;
 };
 
 }  // namespace blam

@@ -12,10 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/units.hpp"
+#include "sim/inline_callback.hpp"
 
 namespace blam {
 
@@ -31,7 +31,9 @@ struct EventHandle {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Inline, move-only, non-allocating callable (48-byte capture budget,
+  /// enforced at compile time); scheduling never touches the heap.
+  using Callback = InlineCallback;
 
   /// Inserts an event; `time` must not precede the last popped time (the
   /// engine enforces this, the queue only stores).

@@ -63,7 +63,7 @@ TEST_F(AckPlannerTest, OverlapsTxDetectsReservations) {
 
 TEST_F(AckPlannerTest, PruneDropsOldReservations) {
   for (int i = 0; i < 10; ++i) {
-    planner_.plan(Time::from_seconds(10.0 * i), SpreadingFactor::kSF7, 0, 1);
+    (void)planner_.plan(Time::from_seconds(10.0 * i), SpreadingFactor::kSF7, 0, 1);
   }
   EXPECT_EQ(planner_.reservations(), 10u);
   planner_.prune(Time::from_seconds(1000.0));

@@ -26,7 +26,7 @@ TEST(AdrBasics, NoiseFloor) {
   // -174 + 10 log10(125e3) + 6 = -117.03 dBm.
   EXPECT_NEAR(noise_floor_dbm(125e3), -117.03, 0.01);
   EXPECT_NEAR(noise_floor_dbm(500e3), -111.01, 0.01);
-  EXPECT_THROW(noise_floor_dbm(0.0), std::invalid_argument);
+  EXPECT_THROW((void)noise_floor_dbm(0.0), std::invalid_argument);
 }
 
 TEST(AdrController, ValidatesConfig) {

@@ -124,14 +124,14 @@ TEST(RxEnergy, ScalesWithDuration) {
   const Energy e1 = rx_energy(Time::from_ms(60), radio);
   const Energy e2 = rx_energy(Time::from_ms(120), radio);
   EXPECT_NEAR(e2.joules(), 2.0 * e1.joules(), 1e-12);
-  EXPECT_THROW(rx_energy(Time::from_ms(-1), radio), std::invalid_argument);
+  EXPECT_THROW((void)rx_energy(Time::from_ms(-1), radio), std::invalid_argument);
 }
 
 TEST(Airtime, RejectsInvalidInput) {
   TxParams p = params(SpreadingFactor::kSF10, 10);
   p.payload_bytes = -1;
-  EXPECT_THROW(packet_symbols(p), std::invalid_argument);
-  EXPECT_THROW(symbol_time(SpreadingFactor::kSF10, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)packet_symbols(p), std::invalid_argument);
+  EXPECT_THROW((void)symbol_time(SpreadingFactor::kSF10, 0.0), std::invalid_argument);
 }
 
 TEST(Params, SfHelpers) {
@@ -139,8 +139,8 @@ TEST(Params, SfHelpers) {
   EXPECT_EQ(sf_index(SpreadingFactor::kSF7), 0u);
   EXPECT_EQ(sf_index(SpreadingFactor::kSF12), 5u);
   EXPECT_EQ(sf_from_value(11), SpreadingFactor::kSF11);
-  EXPECT_THROW(sf_from_value(6), std::invalid_argument);
-  EXPECT_THROW(sf_from_value(13), std::invalid_argument);
+  EXPECT_THROW((void)sf_from_value(6), std::invalid_argument);
+  EXPECT_THROW((void)sf_from_value(13), std::invalid_argument);
   EXPECT_EQ(to_string(SpreadingFactor::kSF8), "SF8");
 }
 

@@ -33,8 +33,8 @@ TEST(ChannelPlan, Rx1MappingIsUplinkModDownlink) {
   EXPECT_EQ(plan.rx1_channel(7), 23);
   EXPECT_EQ(plan.rx1_channel(8), 16);
   EXPECT_EQ(plan.rx1_channel(15), 23);
-  EXPECT_THROW(plan.rx1_channel(16), std::invalid_argument);
-  EXPECT_THROW(plan.rx1_channel(-1), std::invalid_argument);
+  EXPECT_THROW((void)plan.rx1_channel(16), std::invalid_argument);
+  EXPECT_THROW((void)plan.rx1_channel(-1), std::invalid_argument);
 }
 
 TEST(ChannelPlan, DownlinkChannelsAreDisjointFromUplink) {

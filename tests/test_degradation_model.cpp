@@ -33,7 +33,7 @@ TEST(DegradationModel, CalendarAgingLinearInTime) {
   const double one_year = m.calendar_aging(Time::from_days(365.0), 0.5, 25.0);
   const double two_years = m.calendar_aging(Time::from_days(730.0), 0.5, 25.0);
   EXPECT_NEAR(two_years, 2.0 * one_year, 1e-12);
-  EXPECT_THROW(m.calendar_aging(Time::from_seconds(-1.0), 0.5, 25.0), std::invalid_argument);
+  EXPECT_THROW((void)m.calendar_aging(Time::from_seconds(-1.0), 0.5, 25.0), std::invalid_argument);
 }
 
 TEST(DegradationModel, CalendarAgingMonotoneInSoc) {
@@ -99,8 +99,8 @@ TEST(DegradationModel, LinearForInvertsNonlinear) {
     const double f = m.linear_for(d);
     EXPECT_NEAR(m.nonlinear(f), d, 1e-9);
   }
-  EXPECT_THROW(m.linear_for(1.0), std::invalid_argument);
-  EXPECT_THROW(m.linear_for(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)m.linear_for(1.0), std::invalid_argument);
+  EXPECT_THROW((void)m.linear_for(-0.1), std::invalid_argument);
 }
 
 TEST(DegradationModel, PaperHeadlineLifespansFromCalendarAging) {

@@ -15,8 +15,8 @@ std::vector<SocSample> flat_trace(double soc, int days) {
 
 TEST(DegradationService, UnknownNodeThrows) {
   DegradationService svc{DegradationModel{}, 25.0};
-  EXPECT_THROW(svc.normalized_degradation(1), std::out_of_range);
-  EXPECT_THROW(svc.degradation(1), std::out_of_range);
+  EXPECT_THROW((void)svc.normalized_degradation(1), std::out_of_range);
+  EXPECT_THROW((void)svc.degradation(1), std::out_of_range);
 }
 
 TEST(DegradationService, RegisterIsIdempotent) {

@@ -41,8 +41,8 @@ TEST(Dif, MonotoneInCostAntitoneInHarvest) {
 }
 
 TEST(Dif, RequiresPositiveNormalizer) {
-  EXPECT_THROW(degradation_impact_factor(J(1.0), J(1.0), J(0.0)), std::invalid_argument);
-  EXPECT_THROW(degradation_impact_factor(J(1.0), J(1.0), J(-1.0)), std::invalid_argument);
+  EXPECT_THROW((void)degradation_impact_factor(J(1.0), J(1.0), J(0.0)), std::invalid_argument);
+  EXPECT_THROW((void)degradation_impact_factor(J(1.0), J(1.0), J(-1.0)), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+#include "sim/inline_callback.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/event_queue.hpp"
+
+namespace blam {
+namespace {
+
+TEST(InlineCallback, InvokesCapturedLambda) {
+  int hits = 0;
+  InlineCallback cb{[&hits] { ++hits; }};
+  ASSERT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, DefaultAndNullptrAreEmpty) {
+  InlineCallback empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  InlineCallback null = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null));
+}
+
+TEST(InlineCallback, MoveTransfersOwnership) {
+  int hits = 0;
+  InlineCallback a{[&hits] { ++hits; }};
+  InlineCallback b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineCallback c;
+  c = std::move(b);
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, HoldsMoveOnlyCaptures) {
+  auto flag = std::make_unique<int>(7);
+  int seen = 0;
+  InlineCallback cb{[p = std::move(flag), &seen] { seen = *p; }};
+  cb();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(InlineCallback, NonTrivialCaptureMovesAndDestructs) {
+  // shared_ptr capture: the use count tracks how many live copies exist, so
+  // it observes both the move path and eager destruction.
+  auto counter = std::make_shared<int>(0);
+  InlineCallback a{[counter] { ++*counter; }};
+  EXPECT_EQ(counter.use_count(), 2);
+
+  InlineCallback b{std::move(a)};
+  EXPECT_EQ(counter.use_count(), 2);  // moved, not copied
+
+  b();
+  EXPECT_EQ(*counter, 1);
+
+  b = nullptr;  // eager release: the capture dies now
+  EXPECT_EQ(counter.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(InlineCallback, DestructorReleasesCapture) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InlineCallback cb{[counter] { ++*counter; }};
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineCallback, MoveAssignReleasesPreviousCapture) {
+  auto old_state = std::make_shared<int>(0);
+  InlineCallback cb{[old_state] { ++*old_state; }};
+  EXPECT_EQ(old_state.use_count(), 2);
+  cb = InlineCallback{[] {}};
+  EXPECT_EQ(old_state.use_count(), 1);
+  cb();  // replacement callable runs fine
+}
+
+// A callable filling the inline budget exactly; this is the contract the
+// node/gateway/server lambdas are written against.
+struct Exact48 {
+  std::array<std::uint8_t, InlineCallback::kCaptureBytes - sizeof(int*)> payload;
+  int* sum;
+  void operator()() const {
+    for (auto b : payload) *sum += b;
+  }
+};
+static_assert(sizeof(Exact48) == InlineCallback::kCaptureBytes);
+
+TEST(InlineCallback, CapturesUpToTheBudget) {
+  Exact48 fn{};
+  fn.payload.fill(0x5a);
+  int sum = 0;
+  fn.sum = &sum;
+  InlineCallback cb{fn};
+  cb();
+  EXPECT_EQ(sum, 0x5a * static_cast<int>(fn.payload.size()));
+}
+
+// Oversized captures must fail the static_assert. Compile-time checks can't
+// run under gtest, so assert the trait the guard is built from instead: a
+// capture one byte over budget is rejected by the same sizeof comparison.
+TEST(InlineCallback, BudgetIsFortyEightBytes) {
+  EXPECT_EQ(InlineCallback::kCaptureBytes, 48u);
+  struct Oversized {
+    std::array<std::uint8_t, InlineCallback::kCaptureBytes + 1> bytes;
+  };
+  static_assert(sizeof(Oversized) > InlineCallback::kCaptureBytes,
+                "a 49-byte capture would be rejected at compile time");
+}
+
+TEST(InlineCallback, EventQueueCancelReleasesEagerly) {
+  // The queue's contract: cancel() destroys the captured state immediately,
+  // even though the heap entry drains lazily.
+  EventQueue queue;
+  auto state = std::make_shared<int>(0);
+  const EventHandle h = queue.schedule(Time::from_seconds(1.0), [state] { ++*state; });
+  EXPECT_EQ(state.use_count(), 2);
+  EXPECT_TRUE(queue.cancel(h));
+  EXPECT_EQ(state.use_count(), 1);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(InlineCallback, EventQueuePopReleasesAfterInvoke) {
+  EventQueue queue;
+  auto state = std::make_shared<int>(0);
+  (void)queue.schedule(Time::from_seconds(1.0), [state] { ++*state; });
+  EXPECT_EQ(state.use_count(), 2);
+  {
+    auto popped = queue.pop();
+    popped.callback();
+  }
+  EXPECT_EQ(*state, 1);
+  EXPECT_EQ(state.use_count(), 1);  // popped callback destroyed with its scope
+}
+
+TEST(InlineCallback, QueueSlotReuseKeepsCallbacksIntact) {
+  // Schedule/cancel churn recycles slots; surviving callbacks must fire
+  // with their own captures, not a recycled slot's.
+  EventQueue queue;
+  int fired = -1;
+  std::vector<EventHandle> handles;
+  handles.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(
+        queue.schedule(Time::from_seconds(static_cast<double>(i + 1)), [i, &fired] { fired = i; }));
+  }
+  for (int i = 0; i < 8; i += 2) EXPECT_TRUE(queue.cancel(handles[static_cast<std::size_t>(i)]));
+  auto popped = queue.pop();
+  popped.callback();
+  EXPECT_EQ(fired, 1);  // earliest surviving event
+}
+
+}  // namespace
+}  // namespace blam

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 namespace blam {
 namespace {
@@ -173,6 +175,61 @@ TEST(Harvester, ScalesAndJitters) {
 TEST(Harvester, RejectsNonPositiveScale) {
   const SolarTrace trace{small_config()};
   EXPECT_THROW(Harvester(trace, 0.0), std::invalid_argument);
+}
+
+TEST(SolarTrace, PeakMatchesMaxSample) {
+  const SolarTrace trace{small_config()};
+  double max_w = 0.0;
+  for (Time t = Time::zero(); t < trace.period(); t = t + Time::from_minutes(1.0)) {
+    max_w = std::max(max_w, trace.power_at(t).watts());
+  }
+  EXPECT_DOUBLE_EQ(trace.peak().watts(), max_w);
+}
+
+TEST(SolarTrace, BatchedWindowEnergiesAreBitIdentical) {
+  // The batched walk reuses each window boundary's cumulative value; the
+  // contract is EXACT equality with per-window energy_between, including
+  // windows straddling and landing exactly on the year wrap.
+  const SolarTrace trace{small_config()};
+  const Time window = Time::from_minutes(7.5);
+  const std::vector<Time> starts = {
+      Time::zero(),
+      Time::from_days(100.0) + Time::from_hours(9.0) + Time::from_seconds(13.0),
+      trace.period() - Time::from_minutes(30.0),        // sweep crosses the wrap
+      trace.period() - window * std::int64_t{4},        // boundary lands on the wrap
+      trace.period() * std::int64_t{3} - Time::from_hours(1.0),  // later years
+  };
+  std::vector<Energy> batched(64);
+  for (const Time start : starts) {
+    trace.energy_windows(start, window, 64, batched.data());
+    for (int i = 0; i < 64; ++i) {
+      const Time t0 = start + window * std::int64_t{i};
+      const Time t1 = start + window * std::int64_t{i + 1};
+      ASSERT_EQ(batched[static_cast<std::size_t>(i)].joules(),
+                trace.energy_between(t0, t1).joules())
+          << "start=" << start.seconds() << "s window " << i;
+    }
+  }
+}
+
+TEST(SolarTrace, BatchedWindowsLongerThanPeriod) {
+  const SolarTrace trace{small_config()};
+  const Time window = trace.period() + Time::from_hours(5.0);
+  std::vector<Energy> batched(3);
+  const Time start = Time::from_days(2.0);
+  trace.energy_windows(start, window, 3, batched.data());
+  for (int i = 0; i < 3; ++i) {
+    const Time t0 = start + window * std::int64_t{i};
+    const Time t1 = start + window * std::int64_t{i + 1};
+    EXPECT_EQ(batched[static_cast<std::size_t>(i)].joules(),
+              trace.energy_between(t0, t1).joules());
+  }
+}
+
+TEST(SolarTrace, BatchedWindowsRejectNonPositiveWindow) {
+  const SolarTrace trace{small_config()};
+  Energy out[1];
+  EXPECT_THROW(trace.energy_windows(Time::zero(), Time::zero(), 1, out), std::invalid_argument);
 }
 
 }  // namespace

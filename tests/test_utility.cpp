@@ -24,9 +24,9 @@ TEST(LinearUtility, SingleWindowIsFullUtility) {
 
 TEST(UtilityFunctions, RangeChecks) {
   const LinearUtility u;
-  EXPECT_THROW(u.value(-1, 10), std::invalid_argument);
-  EXPECT_THROW(u.value(10, 10), std::invalid_argument);
-  EXPECT_THROW(u.value(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)u.value(-1, 10), std::invalid_argument);
+  EXPECT_THROW((void)u.value(10, 10), std::invalid_argument);
+  EXPECT_THROW((void)u.value(0, 0), std::invalid_argument);
 }
 
 TEST(ExponentialUtility, ShapeAndBounds) {

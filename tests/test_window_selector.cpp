@@ -39,19 +39,19 @@ TEST(WindowSelector, ValidatesInput) {
   WindowSelectorInput bad = f.input;
   bad.harvest = {};
   bad.tx_cost = {};
-  EXPECT_THROW(sel.select(bad), std::invalid_argument);
+  EXPECT_THROW((void)sel.select(bad), std::invalid_argument);
   bad = f.input;
   bad.utility = nullptr;
-  EXPECT_THROW(sel.select(bad), std::invalid_argument);
+  EXPECT_THROW((void)sel.select(bad), std::invalid_argument);
   bad = f.input;
   bad.max_tx = J(0.0);
-  EXPECT_THROW(sel.select(bad), std::invalid_argument);
+  EXPECT_THROW((void)sel.select(bad), std::invalid_argument);
   bad = f.input;
   bad.w_u = 1.5;
-  EXPECT_THROW(sel.select(bad), std::invalid_argument);
+  EXPECT_THROW((void)sel.select(bad), std::invalid_argument);
   bad = f.input;
   bad.w_b = -0.5;
-  EXPECT_THROW(sel.select(bad), std::invalid_argument);
+  EXPECT_THROW((void)sel.select(bad), std::invalid_argument);
 }
 
 TEST(WindowSelector, FreshBatteryPrefersFirstWindow) {
@@ -231,6 +231,51 @@ TEST_P(SelectorPropertyTest, SelectionIsOptimalAmongFeasible) {
 
 INSTANTIATE_TEST_SUITE_P(WindowCounts, SelectorPropertyTest,
                          ::testing::Values(1, 2, 5, 16, 38, 60));
+
+// The workspace (allocation-free) overloads must agree exactly with the
+// allocating API on randomized inputs — the hot path swaps one for the
+// other and every committed CSV depends on them being interchangeable.
+TEST(WindowSelector, WorkspaceMatchesAllocatingApiOnRandomInputs) {
+  Rng rng{20250806};
+  LinearUtility utility;
+  WindowSelector sel;
+  WindowSelector::Workspace ws;  // reused across trials, like a node does
+  for (int trial = 0; trial < 500; ++trial) {
+    const int n = rng.uniform_int(1, 60);
+    std::vector<Energy> harvest;
+    std::vector<Energy> cost;
+    for (int t = 0; t < n; ++t) {
+      harvest.push_back(J(rng.uniform(0.0, 2.0)));
+      cost.push_back(J(rng.uniform(0.0, 1.5)));
+    }
+    WindowSelectorInput input;
+    input.battery = J(rng.uniform(0.0, 2.0));
+    input.storage_cap = J(rng.uniform(0.1, 3.0));
+    input.w_u = rng.uniform(0.0, 1.0);
+    input.w_b = rng.uniform(0.0, 1.0);
+    input.harvest = harvest;
+    input.tx_cost = cost;
+    input.max_tx = J(rng.uniform(0.5, 2.0));
+    input.utility = &utility;
+
+    const WindowSelection heap = sel.select(input);
+    const WindowSelection scratch = sel.select(input, ws);
+    EXPECT_EQ(heap.success, scratch.success);
+    EXPECT_EQ(heap.window, scratch.window);
+    // Bit-identical, not just close: the workspace path must run the exact
+    // same arithmetic.
+    EXPECT_EQ(heap.gamma, scratch.gamma);
+    EXPECT_EQ(heap.utility, scratch.utility);
+    EXPECT_EQ(heap.dif, scratch.dif);
+
+    const std::vector<double> heap_gamma = sel.objective_values(input);
+    const std::span<const double> ws_gamma = sel.objective_values(input, ws);
+    ASSERT_EQ(heap_gamma.size(), ws_gamma.size());
+    for (std::size_t t = 0; t < heap_gamma.size(); ++t) {
+      EXPECT_EQ(heap_gamma[t], ws_gamma[t]);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace blam
