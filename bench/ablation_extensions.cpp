@@ -101,7 +101,8 @@ int main() {
     cells.push_back({std::move(adaptive), trace});
   }
 
-  const std::vector<ExperimentResult> results = run_scenarios(cells, duration, sweep_options());
+  const std::vector<ExperimentResult> results =
+      run_scenarios(cells, duration, scenario_campaign_options());
 
   // (1) Supercap.
   {

@@ -34,6 +34,30 @@ SweepOptions sweep_options() {
   return options;
 }
 
+CampaignOptions campaign_options() {
+  CampaignOptions options;
+  options.sweep = sweep_options();
+  if (const char* env = std::getenv("BLAM_CELL_TIMEOUT_S"); env != nullptr && env[0] != '\0') {
+    options.cell_timeout_s = std::atof(env);
+  }
+  if (const char* env = std::getenv("BLAM_RETRIES"); env != nullptr && env[0] != '\0') {
+    options.retries = std::atoi(env);
+  }
+  if (const char* env = std::getenv("BLAM_QUARANTINE"); env != nullptr) {
+    options.quarantine_path = env;  // "" disables the quarantine file
+  }
+  if (const char* env = std::getenv("BLAM_JOURNAL"); env != nullptr) {
+    options.journal_path = env;
+  }
+  return options;
+}
+
+CampaignOptions scenario_campaign_options() {
+  CampaignOptions options = campaign_options();
+  options.journal_path.clear();
+  return options;
+}
+
 std::string write_csv(const std::string& name, const std::vector<std::string>& header,
                       const std::vector<std::vector<std::string>>& rows) {
   namespace fs = std::filesystem;
@@ -71,7 +95,7 @@ ProtocolSweep run_protocol_sweep(int n_nodes, double years, std::uint64_t seed) 
 
   std::printf("running %d nodes x %.2f years x %zu protocols ...\n", n_nodes, years,
               cells.size());
-  sweep.results = run_scenarios(cells, duration, sweep_options());
+  sweep.results = run_scenarios(cells, duration, scenario_campaign_options());
   return sweep;
 }
 

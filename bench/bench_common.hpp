@@ -26,6 +26,19 @@ void banner(const std::string& figure, const std::string& claim);
 /// worker count from BLAM_JOBS (hardware_concurrency when unset).
 [[nodiscard]] SweepOptions sweep_options();
 
+/// Default campaign options for figure grids: sweep_options() plus the
+/// crash-tolerance knobs from the environment —
+///   BLAM_CELL_TIMEOUT_S  per-cell watchdog seconds (default 0 = off)
+///   BLAM_RETRIES         re-runs before quarantining a cell (default 1)
+///   BLAM_QUARANTINE      quarantine file (default "quarantine.json")
+///   BLAM_JOURNAL         checkpoint journal for resumable grids (default
+///                        "" = off; only the lifespan grids accept one)
+[[nodiscard]] CampaignOptions campaign_options();
+
+/// campaign_options() with the journal cleared: fixed-duration scenario
+/// grids (ExperimentResult) have no lossless codec and reject journals.
+[[nodiscard]] CampaignOptions scenario_campaign_options();
+
 /// Writes `name`.csv into BLAM_OUT_DIR (current directory when unset),
 /// creating the directory if missing, and returns the path actually written.
 /// Throws std::runtime_error when the directory cannot be created or the

@@ -22,14 +22,13 @@ int main() {
   const Time step = Time::from_days(30.44);
   const Time max_duration = Time::from_days(365.0 * max_years);
 
-  std::vector<LifespanResult> results;
-  for (const ScenarioConfig& config :
-       {lorawan_scenario(nodes, seed), blam_scenario(nodes, 0.5, seed),
-        theta_only_scenario(nodes, 0.5, seed)}) {
-    std::printf("running %s until EoL (up to %.0f years) ...\n", config.label.c_str(),
-                max_years);
-    results.push_back(run_until_eol(config, max_duration, step, trace));
-  }
+  const std::vector<ScenarioCell> cells{{lorawan_scenario(nodes, seed), trace},
+                                        {blam_scenario(nodes, 0.5, seed), trace},
+                                        {theta_only_scenario(nodes, 0.5, seed), trace}};
+  std::printf("running %zu protocols until EoL (up to %.0f years) ...\n", cells.size(),
+              max_years);
+  const std::vector<LifespanResult> results =
+      run_lifespans(cells, max_duration, step, campaign_options());
 
   std::printf("\n%-8s", "month");
   for (const auto& r : results) std::printf(" %12s", r.label.c_str());

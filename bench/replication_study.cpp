@@ -2,6 +2,7 @@
 // independent seeds with 95% confidence intervals — establishes that the
 // figure-level differences are not single-seed luck.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hpp"
 #include "common/csv.hpp"
@@ -11,9 +12,13 @@ int main() {
   using namespace blam;
   using namespace blam::bench;
 
-  const int nodes = scaled(300, 100);
-  const double days = scaled(365.0, 60.0);
-  const int reps = scaled(10, 5);
+  // BLAM_SMOKE=1: a minutes-scale configuration for sanitizer CI legs that
+  // run the full pipeline (typically with BLAM_AUDIT=2) rather than measure.
+  const char* smoke_env = std::getenv("BLAM_SMOKE");
+  const bool smoke = smoke_env != nullptr && smoke_env[0] == '1';
+  const int nodes = smoke ? 20 : scaled(300, 100);
+  const double days = smoke ? 14.0 : scaled(365.0, 60.0);
+  const int reps = smoke ? 2 : scaled(10, 5);
   banner("Replication study - LoRaWAN vs H-50 vs GreedyGreen, " + std::to_string(reps) +
              " seeds, 95% CI",
          "H-50's RETX/energy/degradation advantages hold across seeds");

@@ -115,6 +115,7 @@ int main(int argc, char** argv) {
                CsvWriter::cell(m.mean_soc),
                CsvWriter::cell(static_cast<std::int64_t>(m.majority_window()))});
     }
+    csv.flush();
     std::printf("\nper-node metrics -> %s\n", csv_path.c_str());
     return 0;
   } catch (const std::exception& e) {

@@ -1,0 +1,193 @@
+// Runtime invariant auditor: samples the simulator's physical bookkeeping
+// while it runs and records (or throws on) violations.
+//
+// The long-run figures (Figs. 5-10) rest on energy conservation, SoC caps
+// and rainflow-fed capacity fade being computed correctly over simulated
+// years; a silently wrong ledger ships a wrong figure. The auditor is an
+// observe-only tap on the hot paths: Node reports every PowerSwitch flow and
+// storage loss, the Simulator reports every event pop, and the NetworkServer
+// reports every accepted uplink. The auditor never draws random numbers and
+// never mutates simulation state, so results are bit-identical at every
+// audit level.
+//
+// Levels: 0 = off (no Auditor is constructed; hooks are a null-pointer test),
+// 1 = sampled (state is tracked on every call, the arithmetic checks run on
+// every `sample_every`-th call per invariant), 2 = every call. Environment
+// overrides: BLAM_AUDIT=<0|1|2> and BLAM_AUDIT_THROW=<0|1>.
+//
+// Thread safety: one Auditor belongs to one Network (one simulator thread).
+// Sweep workers each own their cell's Network and therefore their own
+// Auditor; no cross-thread state.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "energy/power_switch.hpp"
+
+namespace blam {
+
+enum class AuditInvariant {
+  /// Per-node ledger: harvest/demand splits, storage delta vs charged minus
+  /// drawn (conversion loss bounded by the supercap efficiency), and
+  /// continuity of stored energy across accounting intervals.
+  kEnergyConservation,
+  /// Battery SoC in [0, 1] and never *rising* above the theta cap.
+  kSocBounds,
+  /// Capacity fade is monotonically non-decreasing and in [0, 1].
+  kFadeMonotonic,
+  /// The event queue never pops a timestamp behind the simulation clock.
+  kEventMonotonic,
+  /// Transmissions respect the regulatory duty-cycle T_off rule.
+  kDutyCycle,
+  /// ACKs name the node and an uplink sequence number it actually sent; the
+  /// server accepts per-node sequence numbers strictly monotonically.
+  kSequence,
+  /// Disseminated normalized degradation w_u in [0, 1].
+  kFeedbackRange,
+};
+
+[[nodiscard]] const char* audit_invariant_name(AuditInvariant invariant);
+
+struct AuditViolation {
+  AuditInvariant invariant{AuditInvariant::kEnergyConservation};
+  /// Simulation time of the offending observation.
+  Time at{};
+  /// Node id, or -1 for network-wide invariants (event-queue order).
+  std::int64_t node{-1};
+  double observed{0.0};
+  double bound{0.0};
+  std::string detail;
+
+  /// "[audit] energy-conservation: node 3 at <t>: <detail> (observed ...,
+  /// bound ...)" — the structured fields rendered for logs and AuditError.
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct AuditConfig {
+  /// 0 = off (Network builds no Auditor), 1 = sampled, 2 = every call.
+  int level{0};
+  /// Throw AuditError at the first violation instead of recording it.
+  bool throw_on_violation{false};
+  /// Energy-ledger tolerance: abs + rel * max(|terms|) joules. The switch's
+  /// identities are exact up to double rounding, so 1e-9 relative leaves
+  /// seven orders of magnitude between rounding noise and a real bug.
+  double rel_tolerance{1e-9};
+  double abs_tolerance_j{1e-9};
+  /// Tolerance for dimensionless bounds (SoC, degradation, w_u).
+  double soc_tolerance{1e-9};
+  /// Level 1: run each invariant's arithmetic on every n-th observation.
+  int sample_every{16};
+  /// Violations kept for reporting (the count is always exact).
+  std::size_t max_recorded{64};
+};
+
+/// Applies the BLAM_AUDIT / BLAM_AUDIT_THROW environment overrides on top of
+/// `base` (malformed values are ignored, keeping the scenario's setting).
+[[nodiscard]] AuditConfig audit_config_from_env(AuditConfig base);
+
+class AuditError : public std::runtime_error {
+ public:
+  explicit AuditError(AuditViolation violation);
+  [[nodiscard]] const AuditViolation& violation() const { return violation_; }
+
+ private:
+  AuditViolation violation_;
+};
+
+class Auditor {
+ public:
+  explicit Auditor(AuditConfig config);
+
+  // --- hooks (called by Simulator / Node / NetworkServer) -----------------
+
+  /// One PowerSwitch::apply interval. `stored_before`/`stored_after` are the
+  /// node's TOTAL stored energy (battery + supercap) around the call;
+  /// `min_store_efficiency` is the worst storage path efficiency (the
+  /// supercap's when attached, else 1), bounding the legal conversion loss.
+  void on_energy_flow(std::uint32_t node, Time at, Energy harvest, Energy demand,
+                      const PowerFlow& flow, Energy stored_before, Energy stored_after,
+                      double min_store_efficiency);
+
+  /// Storage lost outside the switch: supercap leak, battery self-discharge,
+  /// or the fade clamp. Keeps the cross-interval continuity check honest.
+  void on_storage_loss(std::uint32_t node, Time at, Energy amount);
+
+  /// Battery SoC sample against the active theta cap. A SoC above the cap is
+  /// legal only while non-increasing (adaptive theta may lower the cap under
+  /// the current charge); a SoC *rising* above it means charge() ignored it.
+  void on_soc(std::uint32_t node, Time at, double soc, double cap);
+
+  /// Capacity fade applied to the battery (daily refresh).
+  void on_degradation(std::uint32_t node, Time at, double degradation);
+
+  /// Event-queue pop: `event_time` must not precede the clock `now`.
+  void on_event_pop(Time now, Time event_time);
+
+  /// A transmission started at `start` occupying `airtime`; replays the
+  /// ETSI T_off rule (`off = airtime * (1/duty - 1)`) independently of
+  /// DutyCycleLimiter. `max_duty` = 1 disables the check.
+  void on_transmission(std::uint32_t node, Time start, Time airtime, double max_duty);
+
+  /// Node accepted an ACK; `highest_seq` is the highest uplink sequence the
+  /// node has generated so far.
+  void on_ack(std::uint32_t node, Time at, std::uint32_t ack_node, std::uint32_t ack_seq,
+              std::uint32_t highest_seq, bool has_w, double w);
+
+  /// Server accepted a non-duplicate uplink; `prev_seen` is the highest
+  /// sequence previously delivered for the node (-1 = none).
+  void on_uplink_seq(std::uint32_t node, Time at, std::int64_t seq, std::int64_t prev_seen);
+
+  // --- results -------------------------------------------------------------
+
+  [[nodiscard]] const AuditConfig& config() const { return config_; }
+  /// Total violations observed (recording is capped, counting is not).
+  [[nodiscard]] std::uint64_t violation_count() const { return violation_count_; }
+  /// First `max_recorded` violations, in observation order.
+  [[nodiscard]] const std::vector<AuditViolation>& violations() const { return violations_; }
+  /// Invariant evaluations actually run (after sampling).
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_run_; }
+  /// Network-wide energy totals accumulated by the ledger (joules).
+  [[nodiscard]] double total_harvested_j() const { return total_harvested_j_; }
+  [[nodiscard]] double total_consumed_j() const { return total_consumed_j_; }
+  [[nodiscard]] double total_wasted_j() const { return total_wasted_j_; }
+
+  /// One-line summary: "audit level 2: N checks, M violations".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  struct NodeLedger {
+    bool seen_flow{false};
+    /// Total stored energy after the last audited flow.
+    double last_stored_j{0.0};
+    /// External losses reported since that flow (leak/self-discharge/fade).
+    double pending_loss_j{0.0};
+    double last_soc{-1.0};
+    bool seen_soc{false};
+    double last_degradation{0.0};
+    Time duty_next_allowed{Time::zero()};
+  };
+
+  [[nodiscard]] NodeLedger& ledger(std::uint32_t node);
+  /// Level-2: always due. Level-1: every sample_every-th call per counter.
+  [[nodiscard]] bool due(std::uint64_t& counter);
+  void report(AuditInvariant invariant, Time at, std::int64_t node, double observed,
+              double bound, std::string detail);
+
+  AuditConfig config_;
+  std::vector<NodeLedger> ledgers_;
+  std::vector<AuditViolation> violations_;
+  std::uint64_t violation_count_{0};
+  std::uint64_t checks_run_{0};
+  std::uint64_t flow_counter_{0};
+  std::uint64_t soc_counter_{0};
+  std::uint64_t event_counter_{0};
+  double total_harvested_j_{0.0};
+  double total_consumed_j_{0.0};
+  double total_wasted_j_{0.0};
+};
+
+}  // namespace blam

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -76,14 +77,38 @@ std::string ConfigFile::get_string(const std::string& key, const std::string& fa
 double ConfigFile::get_double(const std::string& key, double fallback) const {
   const std::string* v = find(key);
   if (v == nullptr) return fallback;
+  double parsed = 0.0;
   try {
     std::size_t consumed = 0;
-    const double parsed = std::stod(*v, &consumed);
+    parsed = std::stod(*v, &consumed);
     if (consumed != v->size()) throw std::invalid_argument{"trailing junk"};
-    return parsed;
   } catch (const std::exception&) {
     throw std::runtime_error{"ConfigFile: key '" + key + "' is not a number: " + *v};
   }
+  // stod happily parses "nan" and "inf"; both sail through < / > range
+  // guards downstream, so they are rejected at the door.
+  if (!std::isfinite(parsed)) {
+    throw std::runtime_error{"ConfigFile: key '" + key + "' must be finite (got " + *v + ")"};
+  }
+  return parsed;
+}
+
+double ConfigFile::get_positive_double(const std::string& key, double fallback) const {
+  const double parsed = get_double(key, fallback);
+  if (!(parsed > 0.0)) {
+    throw std::runtime_error{"ConfigFile: key '" + key + "' must be > 0 (got " +
+                             std::to_string(parsed) + ")"};
+  }
+  return parsed;
+}
+
+double ConfigFile::get_non_negative_double(const std::string& key, double fallback) const {
+  const double parsed = get_double(key, fallback);
+  if (!(parsed >= 0.0)) {
+    throw std::runtime_error{"ConfigFile: key '" + key + "' must be >= 0 (got " +
+                             std::to_string(parsed) + ")"};
+  }
+  return parsed;
 }
 
 std::int64_t ConfigFile::get_int(const std::string& key, std::int64_t fallback) const {

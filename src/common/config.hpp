@@ -27,7 +27,13 @@ class ConfigFile {
   [[nodiscard]] bool has(const std::string& key) const;
 
   [[nodiscard]] std::string get_string(const std::string& key, const std::string& fallback) const;
+  /// Rejects non-finite values (nan/inf parse as doubles but poison every
+  /// downstream range check, so they are malformed here).
   [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  /// get_double, additionally requiring value > 0 (durations, capacities).
+  [[nodiscard]] double get_positive_double(const std::string& key, double fallback) const;
+  /// get_double, additionally requiring value >= 0 (rates, fractions).
+  [[nodiscard]] double get_non_negative_double(const std::string& key, double fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   /// Accepts true/false/1/0/yes/no/on/off (case-insensitive).
   [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;

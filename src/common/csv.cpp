@@ -1,25 +1,57 @@
 #include "common/csv.hpp"
 
+#include <cassert>
 #include <cstdio>
+#include <exception>
+#include <filesystem>
 #include <stdexcept>
+#include <system_error>
 
 namespace blam {
 
 CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
-    : out_{path}, width_{header.size()} {
-  if (!out_) throw std::runtime_error{"CsvWriter: cannot open " + path};
+    : out_{path + ".tmp"},
+      path_{path},
+      tmp_path_{path + ".tmp"},
+      width_{header.size()},
+      uncaught_at_ctor_{std::uncaught_exceptions()} {
+  if (!out_) throw std::runtime_error{"CsvWriter: cannot open " + tmp_path_};
   if (width_ == 0) throw std::invalid_argument{"CsvWriter: empty header"};
   write_row(header);
 }
 
+CsvWriter::~CsvWriter() {
+  if (committed_) return;
+  out_.close();
+  std::error_code ec;
+  std::filesystem::remove(tmp_path_, ec);
+  // During an exception unwind the missing flush() is expected — the writer
+  // is cleaning up a failed run and the final path correctly stays stale.
+  if (std::uncaught_exceptions() > uncaught_at_ctor_) return;
+  std::fprintf(stderr, "CsvWriter: %s was written but never flush()ed — no file emitted\n",
+               path_.c_str());
+  assert(!"CsvWriter: flush() was never called on a written file");
+}
+
 void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (committed_) throw std::logic_error{"CsvWriter: row() after flush() on " + path_};
   if (cells.size() != width_) throw std::invalid_argument{"CsvWriter: row width mismatch"};
   write_row(cells);
 }
 
 void CsvWriter::flush() {
+  if (committed_) return;
   out_.flush();
   if (!out_) throw std::runtime_error{"CsvWriter: write failed (stream in error state)"};
+  out_.close();
+  if (out_.fail()) throw std::runtime_error{"CsvWriter: close failed for " + tmp_path_};
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, path_, ec);
+  if (ec) {
+    throw std::runtime_error{"CsvWriter: cannot rename " + tmp_path_ + " to " + path_ + ": " +
+                             ec.message()};
+  }
+  committed_ = true;
 }
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {

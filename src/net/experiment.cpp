@@ -1,14 +1,55 @@
 #include "net/experiment.hpp"
 
+#include <bit>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
 #include "net/network.hpp"
+#include "net/scenario_io.hpp"
 
 namespace blam {
+namespace {
+
+// Recorded violations (throw_on_violation off) must still reach the user:
+// one stderr block per run, summary plus the first few structured records.
+void report_audit(const Network& network) {
+  const Auditor* audit = network.auditor();
+  if (audit == nullptr || audit->violation_count() == 0) return;
+  std::fprintf(stderr, "[audit] %s\n", audit->summary().c_str());
+  constexpr std::size_t kShow = 5;
+  const auto& violations = audit->violations();
+  for (std::size_t i = 0; i < violations.size() && i < kShow; ++i) {
+    std::fprintf(stderr, "%s\n", violations[i].to_string().c_str());
+  }
+  if (audit->violation_count() > kShow) {
+    std::fprintf(stderr, "[audit] ... and %zu more\n", audit->violation_count() - kShow);
+  }
+}
+
+}  // namespace
 
 ExperimentResult run_scenario(const ScenarioConfig& config, Time duration,
-                              std::shared_ptr<const SolarTrace> shared_trace) {
+                              std::shared_ptr<const SolarTrace> shared_trace,
+                              const CellToken* token) {
   Network network{config, std::move(shared_trace)};
+  if (token != nullptr) {
+    // Cancellation points: advance in slices and poll between them. Setting
+    // the clock to an intermediate instant changes nothing about the event
+    // trace, so the sliced run is bit-identical to one run_until(duration).
+    constexpr std::int64_t kSlices = 128;
+    const Time slice = Time::from_us(duration.us() / kSlices);
+    if (slice > Time::zero()) {
+      for (std::int64_t i = 1; i < kSlices; ++i) {
+        token->throw_if_cancelled();
+        network.run_until(slice * i);
+      }
+    }
+    token->throw_if_cancelled();
+  }
   network.run_until(duration);
   network.finalize_metrics();
+  report_audit(network);
 
   ExperimentResult result;
   result.label = config.policy_label();
@@ -24,7 +65,8 @@ ExperimentResult run_scenario(const ScenarioConfig& config, Time duration,
 }
 
 LifespanResult run_until_eol(const ScenarioConfig& config, Time max_duration, Time step,
-                             std::shared_ptr<const SolarTrace> shared_trace) {
+                             std::shared_ptr<const SolarTrace> shared_trace,
+                             const CellToken* token) {
   Network network{config, std::move(shared_trace)};
   const double eol = config.degradation.eol_threshold;
 
@@ -34,6 +76,7 @@ LifespanResult run_until_eol(const ScenarioConfig& config, Time max_duration, Ti
 
   Time now = Time::zero();
   while (now < max_duration) {
+    if (token != nullptr) token->throw_if_cancelled();
     now += step;
     network.run_until(now);
     const double max_deg = network.max_degradation();
@@ -41,16 +84,73 @@ LifespanResult run_until_eol(const ScenarioConfig& config, Time max_duration, Ti
     if (max_deg >= eol) {
       result.reached_eol = true;
       result.lifespan = now;
+      report_audit(network);
       return result;
     }
   }
   result.lifespan = max_duration;
+  report_audit(network);
   return result;
 }
 
 std::shared_ptr<const SolarTrace> build_shared_trace(const ScenarioConfig& config) {
   Network probe{config};  // builds the sized trace without running
   return probe.share_trace();
+}
+
+std::string serialize_lifespan_result(const LifespanResult& r) {
+  std::string out = "L1 ";
+  out += r.reached_eol ? '1' : '0';
+  out += ' ';
+  out += std::to_string(r.lifespan.us());
+  out += ' ';
+  out += std::to_string(r.series_step.us());
+  out += ' ';
+  out += std::to_string(r.max_degradation_series.size());
+  char buf[24];
+  for (const double v : r.max_degradation_series) {
+    // Bit patterns, not decimal: "%.17g" round-trips too, but the bit image
+    // makes "lossless" self-evident and NaN/Inf-proof.
+    std::snprintf(buf, sizeof buf, " %016llx",
+                  static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+    out += buf;
+  }
+  out += ' ';
+  out += r.label;  // last: labels may contain spaces
+  return out;
+}
+
+LifespanResult deserialize_lifespan_result(const std::string& payload) {
+  std::istringstream in{payload};
+  std::string tag;
+  int reached = 0;
+  std::int64_t lifespan_us = 0;
+  std::int64_t step_us = 0;
+  std::size_t n_series = 0;
+  in >> tag >> reached >> lifespan_us >> step_us >> n_series;
+  if (!in || tag != "L1" || (reached != 0 && reached != 1)) {
+    throw std::runtime_error{"deserialize_lifespan_result: bad payload header: " + payload};
+  }
+  LifespanResult r;
+  r.reached_eol = reached == 1;
+  r.lifespan = Time::from_us(lifespan_us);
+  r.series_step = Time::from_us(step_us);
+  r.max_degradation_series.reserve(n_series);
+  std::string word;
+  for (std::size_t i = 0; i < n_series; ++i) {
+    if (!(in >> word)) {
+      throw std::runtime_error{"deserialize_lifespan_result: truncated series"};
+    }
+    std::size_t consumed = 0;
+    const std::uint64_t bits = std::stoull(word, &consumed, 16);
+    if (consumed != word.size()) {
+      throw std::runtime_error{"deserialize_lifespan_result: bad series word: " + word};
+    }
+    r.max_degradation_series.push_back(std::bit_cast<double>(bits));
+  }
+  std::getline(in, r.label);
+  if (!r.label.empty() && r.label.front() == ' ') r.label.erase(0, 1);
+  return r;
 }
 
 namespace {
@@ -78,6 +178,75 @@ std::vector<LifespanResult> run_lifespans(const std::vector<ScenarioCell>& cells
   return runner.map(cells.size(), [&](std::size_t i) {
     return run_until_eol(cells[i].config, max_duration, step, cells[i].trace);
   });
+}
+
+namespace {
+
+/// Campaign identity for a cell: the full human-readable scenario dump plus
+/// everything else the result depends on. Any config/seed/duration change
+/// changes the key, so a stale journal can never be replayed into it.
+std::vector<CampaignCell> campaign_cells(const std::vector<ScenarioCell>& cells,
+                                         const std::string& run_kind, Time a, Time b) {
+  std::vector<CampaignCell> out;
+  out.reserve(cells.size());
+  for (const ScenarioCell& cell : cells) {
+    CampaignCell cc;
+    cc.label = cell.config.policy_label();
+    cc.seed = cell.config.seed;
+    cc.config_text = describe_scenario(cell.config);
+    cc.key = run_kind + " " + std::to_string(a.us()) + " " + std::to_string(b.us()) + "\n" +
+             cc.config_text;
+    out.push_back(std::move(cc));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ExperimentResult> run_scenarios(const std::vector<ScenarioCell>& cells, Time duration,
+                                            CampaignOptions options) {
+  if (!options.journal_path.empty()) {
+    throw std::invalid_argument{
+        "run_scenarios: ExperimentResult has no lossless codec, so these grids cannot be "
+        "journaled; use the run_lifespans overload for resumable campaigns"};
+  }
+  const std::string quarantine_path = options.quarantine_path;
+  options.sweep = with_default_labels(std::move(options.sweep), cells);
+  Campaign campaign{campaign_cells(cells, "scenarios", duration, Time::zero()),
+                    std::move(options)};
+  // Results travel in a side vector (the journal is off, so Campaign's
+  // string payloads carry nothing); slots are distinct per cell, making the
+  // writes race-free across workers.
+  std::vector<std::optional<ExperimentResult>> slots(cells.size());
+  const CampaignReport report = campaign.run([&](std::size_t i, const CellToken& token) {
+    slots[i] = run_scenario(cells[i].config, duration, cells[i].trace, &token);
+    return std::string{};
+  });
+  throw_if_quarantined(report, quarantine_path);
+  std::vector<ExperimentResult> results;
+  results.reserve(slots.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+std::vector<LifespanResult> run_lifespans(const std::vector<ScenarioCell>& cells,
+                                          Time max_duration, Time step, CampaignOptions options) {
+  const std::string quarantine_path = options.quarantine_path;
+  options.sweep = with_default_labels(std::move(options.sweep), cells);
+  Campaign campaign{campaign_cells(cells, "lifespans", max_duration, step), std::move(options)};
+  const CampaignReport report = campaign.run([&](std::size_t i, const CellToken& token) {
+    return serialize_lifespan_result(
+        run_until_eol(cells[i].config, max_duration, step, cells[i].trace, &token));
+  });
+  throw_if_quarantined(report, quarantine_path);
+  std::vector<LifespanResult> results;
+  results.reserve(report.results.size());
+  // Fresh and journal-resumed payloads both pass through the codec here, so
+  // the two paths cannot produce different in-memory results.
+  for (const auto& payload : report.results) {
+    results.push_back(deserialize_lifespan_result(*payload));
+  }
+  return results;
 }
 
 }  // namespace blam

@@ -11,6 +11,7 @@
 #include "energy/solar.hpp"
 #include "net/metrics.hpp"
 #include "net/scenario.hpp"
+#include "sim/campaign.hpp"
 #include "sim/sweep_runner.hpp"
 
 namespace blam {
@@ -28,9 +29,13 @@ struct ExperimentResult {
 
 /// Runs `config` for `duration` of simulated time. If `shared_trace` is
 /// non-null the scenario uses that weather instead of synthesizing its own
-/// (so protocol variants face identical conditions).
+/// (so protocol variants face identical conditions). A non-null `token`
+/// makes the run cancellable: the simulation advances in slices and throws
+/// CellTimeout between them when the watchdog fired — slicing run_until is
+/// bit-identical to a single call.
 [[nodiscard]] ExperimentResult run_scenario(const ScenarioConfig& config, Time duration,
-                                            std::shared_ptr<const SolarTrace> shared_trace = nullptr);
+                                            std::shared_ptr<const SolarTrace> shared_trace = nullptr,
+                                            const CellToken* token = nullptr);
 
 struct LifespanResult {
   std::string label;
@@ -44,9 +49,20 @@ struct LifespanResult {
 
 /// Runs `config` until the first node's battery degrades past the model's
 /// EoL threshold (or `max_duration`), sampling max degradation every `step`.
+/// A non-null `token` is polled at every step (see run_scenario).
 [[nodiscard]] LifespanResult run_until_eol(const ScenarioConfig& config, Time max_duration,
                                            Time step,
-                                           std::shared_ptr<const SolarTrace> shared_trace = nullptr);
+                                           std::shared_ptr<const SolarTrace> shared_trace = nullptr,
+                                           const CellToken* token = nullptr);
+
+/// Lossless text codec for LifespanResult: doubles are stored as their bit
+/// patterns, so deserialize(serialize(r)) == r down to the last bit. This is
+/// the campaign-journal payload format — a resumed cell's result is
+/// indistinguishable from a freshly computed one.
+[[nodiscard]] std::string serialize_lifespan_result(const LifespanResult& result);
+/// Inverse of serialize_lifespan_result; throws std::runtime_error on a
+/// payload it does not recognize.
+[[nodiscard]] LifespanResult deserialize_lifespan_result(const std::string& payload);
 
 /// Builds (or reuses) the weather shared by a batch of compared scenarios.
 [[nodiscard]] std::shared_ptr<const SolarTrace> build_shared_trace(const ScenarioConfig& config);
@@ -74,5 +90,23 @@ struct ScenarioCell {
 [[nodiscard]] std::vector<LifespanResult> run_lifespans(const std::vector<ScenarioCell>& cells,
                                                         Time max_duration, Time step,
                                                         SweepOptions options = {});
+
+/// Crash-tolerant analogue of run_scenarios: per-cell watchdog, retry, and
+/// quarantine via Campaign. Throws (naming the quarantine file) if any cell
+/// failed all attempts. ExperimentResult has no lossless codec, so this
+/// overload rejects a non-empty journal_path (std::invalid_argument) — use
+/// the run_lifespans overload for resumable grids.
+[[nodiscard]] std::vector<ExperimentResult> run_scenarios(const std::vector<ScenarioCell>& cells,
+                                                          Time duration, CampaignOptions options);
+
+/// Crash-tolerant, resumable analogue of run_lifespans. Each cell's identity
+/// (the journal key) covers the full scenario description, the durations and
+/// the seed; with a journal_path set, an interrupted grid re-run skips the
+/// journaled cells and reproduces their results bit-identically. Every
+/// result — fresh or resumed — is round-tripped through the lifespan codec,
+/// so the two paths cannot diverge. Throws if any cell was quarantined.
+[[nodiscard]] std::vector<LifespanResult> run_lifespans(const std::vector<ScenarioCell>& cells,
+                                                        Time max_duration, Time step,
+                                                        CampaignOptions options);
 
 }  // namespace blam

@@ -119,6 +119,17 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
   server_ = std::make_unique<NetworkServer>(sim_, model_, config_.temperature_c,
                                             config_.dissemination_period);
   server_->attach_metrics(metrics_);
+
+  // The auditor is observe-only (no RNG, no state mutation), so any level
+  // yields bit-identical simulation results; it attaches before anything
+  // schedules events so the first pops are covered too.
+  const AuditConfig audit_config = audit_config_from_env(config_.audit);
+  if (audit_config.level > 0) {
+    audit_ = std::make_unique<Auditor>(audit_config);
+    sim_.attach_auditor(audit_.get());
+    server_->attach_auditor(audit_.get());
+  }
+
   if (config_.adr_enabled) server_->enable_adr(config_.adr);
   if (config_.adaptive_theta) {
     ThetaController::Config tc = config_.theta_controller;
@@ -187,6 +198,7 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
                                             model_, *thermal_, *utility_, metrics_.node(i),
                                             root.fork(0x0de + i)));
     nodes_.back()->attach_packet_log(packet_log_.get());
+    nodes_.back()->attach_auditor(audit_.get());
     if (faults_ != nullptr) nodes_.back()->attach_fault_plan(faults_.get());
     nodes_.back()->start();
   }

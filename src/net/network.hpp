@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "common/rng.hpp"
 #include "energy/solar.hpp"
 #include "energy/thermal.hpp"
@@ -55,6 +56,9 @@ class Network {
   [[nodiscard]] const PacketLog* packet_log() const { return packet_log_.get(); }
   /// Non-null only when at least one fault source is configured.
   [[nodiscard]] const FaultPlan* fault_plan() const { return faults_.get(); }
+  /// Non-null only when the effective audit level (ScenarioConfig::audit
+  /// overlaid with BLAM_AUDIT / BLAM_AUDIT_THROW) is > 0.
+  [[nodiscard]] const Auditor* auditor() const { return audit_.get(); }
   [[nodiscard]] Energy worst_case_attempt_energy() const { return worst_attempt_energy_; }
 
   /// Maximum forecast-window count across nodes (Fig. 4 histogram width).
@@ -72,6 +76,7 @@ class Network {
   std::shared_ptr<const SolarTrace> trace_;
   std::unique_ptr<UtilityFunction> utility_;
   std::unique_ptr<NetworkServer> server_;
+  std::unique_ptr<Auditor> audit_;
   std::unique_ptr<FaultPlan> faults_;
   std::vector<std::unique_ptr<Gateway>> gateways_;
   std::unique_ptr<ExternalInterferer> interferer_;

@@ -1,5 +1,6 @@
 #include "net/network_server.hpp"
 
+#include "audit/audit.hpp"
 #include "fault/fault_plan.hpp"
 #include "mac/adr.hpp"
 #include "net/gateway.hpp"
@@ -131,7 +132,12 @@ bool NetworkServer::on_uplink(const UplinkFrame& frame) {
     // one is a duplicate (late retransmission).
     if (static_cast<std::int64_t>(frame.seq) <= seen) return false;
   }
+  const std::int64_t prev_seen = seen;
   seen = frame.seq;
+  if (audit_ != nullptr) {
+    audit_->on_uplink_seq(frame.node_id, sim_.now(), static_cast<std::int64_t>(frame.seq),
+                          prev_seen);
+  }
   if (!frame.soc_report.empty()) {
     service_.ingest(frame.node_id, frame.soc_report);
   }

@@ -25,6 +25,7 @@
 
 namespace blam {
 
+class Auditor;
 class FaultPlan;
 class Gateway;
 class Node;
@@ -46,6 +47,10 @@ class NetworkServer {
   /// Attaches the fault plan: w_u recomputes are skipped while the backhaul
   /// is in an outage window (the dissemination never reaches the gateway).
   void attach_fault_plan(const FaultPlan* faults) { faults_ = faults; }
+
+  /// Attaches the invariant auditor (nullptr = disabled): every accepted
+  /// uplink is checked for strict per-node sequence monotonicity.
+  void attach_auditor(Auditor* auditor) { audit_ = auditor; }
 
   void register_node(std::uint32_t node_id);
 
@@ -110,6 +115,7 @@ class NetworkServer {
   std::optional<ThetaController> theta_;
   Metrics* metrics_{nullptr};
   const FaultPlan* faults_{nullptr};
+  Auditor* audit_{nullptr};
   /// Highest seq delivered per node, indexed by node id (-1 = none yet).
   /// Node ids are dense in every scenario, so a flat vector replaces the
   /// hash lookup that sat on the per-delivery path.

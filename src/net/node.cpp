@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "audit/audit.hpp"
 #include "net/gateway.hpp"
 
 namespace blam {
@@ -117,16 +118,31 @@ Time Node::attempt_span(const TxParams& params) const {
 void Node::account_to(Time now) {
   if (now <= last_account_) return;
   const Time dt = now - last_account_;
-  if (supercap_.has_value()) supercap_->leak(dt);
+  if (supercap_.has_value()) {
+    const Energy before = supercap_->stored();
+    supercap_->leak(dt);
+    if (audit_ != nullptr) audit_->on_storage_loss(id_, now, before - supercap_->stored());
+  }
   if (config_->battery_self_discharge_per_month > 0.0) {
     const double retention =
         std::pow(1.0 - config_->battery_self_discharge_per_month, dt.days() / 30.44);
-    battery_.discharge(battery_.stored() * (1.0 - retention));
+    const Energy drained = battery_.stored() * (1.0 - retention);
+    battery_.discharge(drained);
+    if (audit_ != nullptr) audit_->on_storage_loss(id_, now, drained);
   }
   const Energy harvest = harvest_between(last_account_, now);
   const Energy demand = config_->radio.sleep_power() * dt;
-  switch_.apply(harvest, demand);
+  apply_flow(harvest, demand, now);
   last_account_ = now;
+}
+
+PowerFlow Node::apply_flow(Energy harvest, Energy demand, Time at) {
+  if (audit_ == nullptr) return switch_.apply(harvest, demand);
+  const Energy before = total_stored();
+  const PowerFlow flow = switch_.apply(harvest, demand);
+  const double min_eff = supercap_.has_value() ? config_->supercap_efficiency : 1.0;
+  audit_->on_energy_flow(id_, at, harvest, demand, flow, before, total_stored(), min_eff);
+  return flow;
 }
 
 Energy Node::harvest_between(Time t0, Time t1) const {
@@ -148,6 +164,7 @@ void Node::log_event(PacketEventKind kind, int attempt) {
 
 void Node::record_soc(Time t) {
   const double soc = battery_.soc();
+  if (audit_ != nullptr) audit_->on_soc(id_, t, soc, switch_.soc_cap());
   tracker_.record(t, soc);
   latest_sample_ = SocSample{t, soc};
   if (!has_samples_) {
@@ -158,7 +175,15 @@ void Node::record_soc(Time t) {
 
 void Node::update_capacity_fade(Time now) {
   if (now - last_fade_update_ < Time::from_days(1.0)) return;
-  battery_.set_degradation(tracker_.degradation(now));
+  const double degradation = tracker_.degradation(now);
+  const Energy before = battery_.stored();
+  battery_.set_degradation(degradation);
+  if (audit_ != nullptr) {
+    // The fade clamp may shed stored charge that no longer fits the shrunken
+    // capacity; the ledger must see it or the continuity check drifts.
+    audit_->on_storage_loss(id_, now, before - battery_.stored());
+    audit_->on_degradation(id_, now, degradation);
+  }
   last_fade_update_ = now;
 }
 
@@ -328,7 +353,7 @@ void Node::start_attempt() {
   const Energy demand = attempt_demand(params);
   const Time span = attempt_span(params);
   const Energy harvest = harvest_between(now, now + span);
-  const PowerFlow flow = switch_.apply(harvest, demand);
+  const PowerFlow flow = apply_flow(harvest, demand, now);
   last_account_ = now + span;
   record_soc(last_account_);
 
@@ -345,6 +370,9 @@ void Node::start_attempt() {
   ++metrics_->tx_attempts;
   if (pending_.transmissions > 1) ++metrics_->retx;
   log_event(PacketEventKind::kTxStart, pending_.transmissions - 1);
+  if (audit_ != nullptr) {
+    audit_->on_transmission(id_, now, timing_.time_on_air(params), config_->duty_cycle);
+  }
   duty_cycle_.record(now, timing_.time_on_air(params));
   const Energy radiated = timing_.tx_energy(params, config_->radio);
   metrics_->tx_energy += radiated;
@@ -399,6 +427,10 @@ void Node::on_ack_timeout() {
 
 void Node::receive_ack(const AckFrame& ack, Time ack_end) {
   if (!pending_.active || ack.seq != pending_.seq) return;  // stale duplicate
+  if (audit_ != nullptr) {
+    audit_->on_ack(id_, ack_end, ack.node_id, ack.seq, next_seq_ - 1, ack.has_degradation,
+                   ack.normalized_degradation);
+  }
   sim_->cancel(pending_.timeout);
   sim_->cancel(pending_.retx);  // an ACK can arrive after a timeout already armed a retry
 

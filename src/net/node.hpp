@@ -51,6 +51,7 @@
 
 namespace blam {
 
+class Auditor;
 class Gateway;
 
 class Node {
@@ -77,6 +78,12 @@ class Node {
   /// Attaches the optional packet-event log (nullptr = disabled). Call
   /// before start().
   void attach_packet_log(PacketLog* log) { packet_log_ = log; }
+
+  /// Attaches the invariant auditor (nullptr = disabled): every power-switch
+  /// flow, storage loss, SoC sample, fade update, transmission and accepted
+  /// ACK is reported. Observe-only — results are bit-identical either way.
+  /// Call before start().
+  void attach_auditor(Auditor* auditor) { audit_ = auditor; }
 
   /// Attaches the fault-injection plan (nullptr = no faults): harvest
   /// droughts scale this node's harvest, crash events are scheduled from a
@@ -132,6 +139,15 @@ class Node {
   /// Integrates sleep consumption + harvest over [last_account_, now].
   void account_to(Time now);
 
+  /// Routes one interval through the power switch; with an auditor attached
+  /// the flow plus the surrounding total-storage snapshot is reported.
+  PowerFlow apply_flow(Energy harvest, Energy demand, Time at);
+
+  /// Total stored energy right now (battery + supercap).
+  [[nodiscard]] Energy total_stored() const {
+    return supercap_.has_value() ? battery_.stored() + supercap_->stored() : battery_.stored();
+  }
+
   /// Harvest over [t0, t1], with the fault plan's drought scaling applied
   /// when one is attached.
   [[nodiscard]] Energy harvest_between(Time t0, Time t1) const;
@@ -172,6 +188,7 @@ class Node {
   NodeMetrics* metrics_;
   PacketLog* packet_log_{nullptr};
   const FaultPlan* faults_{nullptr};
+  Auditor* audit_{nullptr};
 
   // --- energy subsystem ----------------------------------------------------
   Battery battery_;

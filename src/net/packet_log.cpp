@@ -48,6 +48,7 @@ void PacketLog::write_csv(const std::string& path) const {
              CsvWriter::cell(static_cast<std::int64_t>(e.attempt)),
              CsvWriter::cell(static_cast<std::int64_t>(e.window)), to_string(e.kind)});
   }
+  csv.flush();
 }
 
 }  // namespace blam

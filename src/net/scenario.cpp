@@ -1,7 +1,9 @@
 #include "net/scenario.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "mac/blam_mac.hpp"
 #include "mac/greedy_green_mac.hpp"
@@ -27,6 +29,42 @@ std::string ScenarioConfig::policy_label() const {
 }
 
 void ScenarioConfig::validate() const {
+  // NaN slips through every range comparison below (NaN <= x is false), so
+  // finiteness is checked first, field by field.
+  const auto require_finite = [](double value, const char* field) {
+    if (!std::isfinite(value)) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "ScenarioConfig: %s must be finite (got %g)", field, value);
+      throw std::invalid_argument{buf};
+    }
+  };
+  require_finite(radius_m, "radius_m");
+  require_finite(gateway_ring_fraction, "gateway_ring_fraction");
+  require_finite(theta, "theta");
+  require_finite(w_b, "w_b");
+  require_finite(utility_lambda, "utility_lambda");
+  require_finite(step_deadline, "step_deadline");
+  require_finite(step_floor, "step_floor");
+  require_finite(ewma_beta, "ewma_beta");
+  require_finite(tx_power_dbm, "tx_power_dbm");
+  require_finite(sf_margin_db, "sf_margin_db");
+  require_finite(downlink_tx_dbm, "downlink_tx_dbm");
+  require_finite(rx1_bandwidth_hz, "rx1_bandwidth_hz");
+  require_finite(duty_cycle, "duty_cycle");
+  require_finite(battery_days, "battery_days");
+  require_finite(initial_soc, "initial_soc");
+  require_finite(battery_self_discharge_per_month, "battery_self_discharge_per_month");
+  require_finite(solar_tx_per_window, "solar_tx_per_window");
+  require_finite(panel_scale_min, "panel_scale_min");
+  require_finite(panel_scale_max, "panel_scale_max");
+  require_finite(cloud_jitter_spread, "cloud_jitter_spread");
+  require_finite(forecast_error_sigma, "forecast_error_sigma");
+  require_finite(supercap_tx_buffer, "supercap_tx_buffer");
+  require_finite(supercap_efficiency, "supercap_efficiency");
+  require_finite(supercap_leak_per_day, "supercap_leak_per_day");
+  require_finite(temperature_c, "temperature_c");
+  require_finite(stale_feedback_k, "stale_feedback_k");
+  require_finite(period_jitter, "period_jitter");
   if (n_nodes <= 0) throw std::invalid_argument{"ScenarioConfig: n_nodes must be positive"};
   if (radius_m <= 0.0) throw std::invalid_argument{"ScenarioConfig: radius_m must be positive"};
   if (n_gateways <= 0) throw std::invalid_argument{"ScenarioConfig: n_gateways must be positive"};

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "audit/audit.hpp"
 #include "common/units.hpp"
 #include "core/theta_controller.hpp"
 #include "core/utility.hpp"
@@ -189,6 +190,10 @@ struct ScenarioConfig {
   // --- Diagnostics ---------------------------------------------------------
   /// Records every packet lifecycle event (memory-heavy; short runs only).
   bool packet_log{false};
+  /// Runtime invariant auditor (level 0 = off). The BLAM_AUDIT and
+  /// BLAM_AUDIT_THROW environment variables override this at Network build
+  /// time; see audit/audit.hpp.
+  AuditConfig audit{};
 
   /// Number of forecast windows for a given sampling period.
   [[nodiscard]] int windows_for(Time period) const {

@@ -38,14 +38,16 @@ ScenarioConfig scenario_from_config(const ConfigFile& file) {
 
   c.seed = static_cast<std::uint64_t>(file.get_int("seed", static_cast<std::int64_t>(c.seed)));
   c.n_nodes = static_cast<int>(file.get_int("nodes", c.n_nodes));
-  c.radius_m = file.get_double("radius_m", c.radius_m);
+  c.radius_m = file.get_positive_double("radius_m", c.radius_m);
   c.n_gateways = static_cast<int>(file.get_int("gateways", c.n_gateways));
-  c.gateway_ring_fraction = file.get_double("gateway_ring_fraction", c.gateway_ring_fraction);
+  c.gateway_ring_fraction = file.get_positive_double("gateway_ring_fraction", c.gateway_ring_fraction);
 
-  c.min_period = Time::from_minutes(file.get_double("min_period_min", c.min_period.minutes()));
-  c.max_period = Time::from_minutes(file.get_double("max_period_min", c.max_period.minutes()));
-  c.forecast_window =
-      Time::from_minutes(file.get_double("forecast_window_min", c.forecast_window.minutes()));
+  c.min_period =
+      Time::from_minutes(file.get_positive_double("min_period_min", c.min_period.minutes()));
+  c.max_period =
+      Time::from_minutes(file.get_positive_double("max_period_min", c.max_period.minutes()));
+  c.forecast_window = Time::from_minutes(
+      file.get_positive_double("forecast_window_min", c.forecast_window.minutes()));
   c.payload_bytes = static_cast<int>(file.get_int("payload_bytes", c.payload_bytes));
 
   c.policy = policy_from_string(file.get_string("policy", "lorawan"));
@@ -74,26 +76,28 @@ ScenarioConfig scenario_from_config(const ConfigFile& file) {
       file.get_double("shadowing_sigma_db", c.path_loss.shadowing_sigma_db);
   c.adr_enabled = file.get_bool("adr", c.adr_enabled);
   c.fast_fading = file.get_bool("fast_fading", c.fast_fading);
-  c.duty_cycle = file.get_double("duty_cycle", c.duty_cycle);
-  c.period_jitter = file.get_double("period_jitter", c.period_jitter);
+  c.duty_cycle = file.get_positive_double("duty_cycle", c.duty_cycle);
+  c.period_jitter = file.get_non_negative_double("period_jitter", c.period_jitter);
   c.confirmed = file.get_bool("confirmed", c.confirmed);
-  c.battery_self_discharge_per_month =
-      file.get_double("battery_self_discharge_per_month", c.battery_self_discharge_per_month);
+  c.battery_self_discharge_per_month = file.get_non_negative_double(
+      "battery_self_discharge_per_month", c.battery_self_discharge_per_month);
   c.interference.tx_per_hour =
-      file.get_double("interference_tx_per_hour", c.interference.tx_per_hour);
+      file.get_non_negative_double("interference_tx_per_hour", c.interference.tx_per_hour);
   c.interference.min_rx_dbm = file.get_double("interference_min_dbm", c.interference.min_rx_dbm);
   c.interference.max_rx_dbm = file.get_double("interference_max_dbm", c.interference.max_rx_dbm);
 
-  c.battery_days = file.get_double("battery_days", c.battery_days);
-  c.initial_soc = file.get_double("initial_soc", c.initial_soc);
-  c.solar_tx_per_window = file.get_double("solar_tx_per_window", c.solar_tx_per_window);
-  c.panel_scale_min = file.get_double("panel_scale_min", c.panel_scale_min);
-  c.panel_scale_max = file.get_double("panel_scale_max", c.panel_scale_max);
-  c.cloud_jitter_spread = file.get_double("cloud_jitter_spread", c.cloud_jitter_spread);
-  c.forecast_error_sigma = file.get_double("forecast_error_sigma", c.forecast_error_sigma);
-  c.supercap_tx_buffer = file.get_double("supercap_tx_buffer", c.supercap_tx_buffer);
-  c.supercap_efficiency = file.get_double("supercap_efficiency", c.supercap_efficiency);
-  c.supercap_leak_per_day = file.get_double("supercap_leak_per_day", c.supercap_leak_per_day);
+  c.battery_days = file.get_positive_double("battery_days", c.battery_days);
+  c.initial_soc = file.get_non_negative_double("initial_soc", c.initial_soc);
+  c.solar_tx_per_window = file.get_positive_double("solar_tx_per_window", c.solar_tx_per_window);
+  c.panel_scale_min = file.get_positive_double("panel_scale_min", c.panel_scale_min);
+  c.panel_scale_max = file.get_positive_double("panel_scale_max", c.panel_scale_max);
+  c.cloud_jitter_spread = file.get_non_negative_double("cloud_jitter_spread", c.cloud_jitter_spread);
+  c.forecast_error_sigma =
+      file.get_non_negative_double("forecast_error_sigma", c.forecast_error_sigma);
+  c.supercap_tx_buffer = file.get_non_negative_double("supercap_tx_buffer", c.supercap_tx_buffer);
+  c.supercap_efficiency = file.get_positive_double("supercap_efficiency", c.supercap_efficiency);
+  c.supercap_leak_per_day =
+      file.get_non_negative_double("supercap_leak_per_day", c.supercap_leak_per_day);
 
   c.temperature_c = file.get_double("temperature_c", c.temperature_c);
   c.thermal.insulated = file.get_bool("insulated", c.thermal.insulated);
@@ -103,7 +107,7 @@ ScenarioConfig scenario_from_config(const ConfigFile& file) {
   c.thermal.diurnal_amplitude_c =
       file.get_double("ambient_diurnal_c", c.thermal.diurnal_amplitude_c);
   c.dissemination_period =
-      Time::from_days(file.get_double("dissemination_days", c.dissemination_period.days()));
+      Time::from_days(file.get_positive_double("dissemination_days", c.dissemination_period.days()));
   const std::string chemistry = file.get_string("chemistry", "lmo");
   if (chemistry == "lmo") {
     c.degradation = DegradationParams::lmo();
@@ -123,7 +127,7 @@ ScenarioConfig scenario_from_config(const ConfigFile& file) {
   c.faults.outage_daily_duration = Time::from_hours(
       file.get_double("fault_outage_daily_duration_h", c.faults.outage_daily_duration.hours()));
   c.faults.outage_random_per_day =
-      file.get_double("fault_outage_random_per_day", c.faults.outage_random_per_day);
+      file.get_non_negative_double("fault_outage_random_per_day", c.faults.outage_random_per_day);
   c.faults.outage_random_min =
       Time::from_minutes(file.get_double("fault_outage_min_min", c.faults.outage_random_min.minutes()));
   c.faults.outage_random_max =
@@ -134,7 +138,8 @@ ScenarioConfig scenario_from_config(const ConfigFile& file) {
       Time::from_minutes(file.get_double("fault_ack_good_mean_min", c.faults.ack_good_mean.minutes()));
   c.faults.ack_bad_mean =
       Time::from_minutes(file.get_double("fault_ack_bad_mean_min", c.faults.ack_bad_mean.minutes()));
-  c.faults.crash_per_year = file.get_double("fault_crash_per_year", c.faults.crash_per_year);
+  c.faults.crash_per_year =
+      file.get_non_negative_double("fault_crash_per_year", c.faults.crash_per_year);
   c.faults.reboot_duration =
       Time::from_minutes(file.get_double("fault_reboot_duration_min", c.faults.reboot_duration.minutes()));
   c.faults.drought_start =
@@ -142,11 +147,17 @@ ScenarioConfig scenario_from_config(const ConfigFile& file) {
   c.faults.drought_duration =
       Time::from_days(file.get_double("fault_drought_duration_days", c.faults.drought_duration.days()));
   c.faults.drought_scale = file.get_double("fault_drought_scale", c.faults.drought_scale);
-  c.stale_feedback_k = file.get_double("stale_feedback_k", c.stale_feedback_k);
+  c.stale_feedback_k = file.get_non_negative_double("stale_feedback_k", c.stale_feedback_k);
   c.ack_failure_backoff = file.get_bool("ack_failure_backoff", c.ack_failure_backoff);
 
   c.adaptive_theta = file.get_bool("adaptive_theta", c.adaptive_theta);
   c.packet_log = file.get_bool("packet_log", c.packet_log);
+  c.audit.level = static_cast<int>(file.get_int("audit_level", c.audit.level));
+  if (c.audit.level < 0 || c.audit.level > 2) {
+    throw std::runtime_error{"scenario: audit_level must be 0, 1 or 2 (got " +
+                             std::to_string(c.audit.level) + ")"};
+  }
+  c.audit.throw_on_violation = file.get_bool("audit_throw", c.audit.throw_on_violation);
   c.label = file.get_string("label", c.policy_label());
 
   const auto unused = file.unused_keys();

@@ -48,6 +48,7 @@ void StateSampler::write_csv(const std::string& path) const {
                CsvWriter::cell(snap.calendar_linear[i]), CsvWriter::cell(snap.cycle_linear[i])});
     }
   }
+  csv.flush();
 }
 
 }  // namespace blam

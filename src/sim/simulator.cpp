@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "audit/audit.hpp"
+
 namespace blam {
 
 EventHandle Simulator::schedule_at(Time at, Callback callback) {
@@ -24,6 +26,7 @@ void Simulator::run() {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
     auto [time, callback] = queue_.pop();
+    if (audit_ != nullptr) audit_->on_event_pop(now_, time);
     now_ = time;
     ++executed_;
     callback();
@@ -34,6 +37,7 @@ void Simulator::run_until(Time until) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_ && queue_.next_time() <= until) {
     auto [time, callback] = queue_.pop();
+    if (audit_ != nullptr) audit_->on_event_pop(now_, time);
     now_ = time;
     ++executed_;
     callback();

@@ -14,9 +14,16 @@
 
 namespace blam {
 
+class Auditor;
+
 class Simulator {
  public:
   using Callback = EventQueue::Callback;
+
+  /// Attaches the invariant auditor (nullptr detaches): every event pop is
+  /// reported for timestamp-monotonicity checking. The engine does not own
+  /// the auditor; with none attached the hook is a single null test.
+  void attach_auditor(Auditor* auditor) { audit_ = auditor; }
 
   /// Current simulation time. Starts at zero.
   [[nodiscard]] Time now() const { return now_; }
@@ -54,6 +61,7 @@ class Simulator {
   Time now_{Time::zero()};
   std::uint64_t executed_{0};
   bool stopped_{false};
+  Auditor* audit_{nullptr};
 };
 
 /// Repeatedly invokes a callback at a fixed period, starting at `first`.

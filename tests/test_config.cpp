@@ -41,6 +41,34 @@ TEST(ConfigFile, MalformedValuesThrow) {
   EXPECT_THROW((void)c.get_int("i", 0), std::runtime_error);
 }
 
+TEST(ConfigFile, NonFiniteDoublesRejectedWithKeyName) {
+  const ConfigFile c = ConfigFile::parse("a = nan\nb = inf\nc = -inf\nd = 1.0");
+  for (const char* key : {"a", "b", "c"}) {
+    try {
+      (void)c.get_double(key, 0.0);
+      FAIL() << key << " should be rejected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string{e.what()}.find(std::string{"'"} + key + "'"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string{e.what()}.find("finite"), std::string::npos) << e.what();
+    }
+  }
+  EXPECT_DOUBLE_EQ(c.get_double("d", 0.0), 1.0);
+}
+
+TEST(ConfigFile, SignConstrainedGetters) {
+  const ConfigFile c = ConfigFile::parse("neg = -2.5\nzero = 0\npos = 2.5\nnan = nan");
+  EXPECT_DOUBLE_EQ(c.get_positive_double("pos", 0.0), 2.5);
+  EXPECT_THROW((void)c.get_positive_double("zero", 1.0), std::runtime_error);
+  EXPECT_THROW((void)c.get_positive_double("neg", 1.0), std::runtime_error);
+  EXPECT_THROW((void)c.get_positive_double("nan", 1.0), std::runtime_error);
+  EXPECT_DOUBLE_EQ(c.get_non_negative_double("zero", 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.get_non_negative_double("pos", 1.0), 2.5);
+  EXPECT_THROW((void)c.get_non_negative_double("neg", 1.0), std::runtime_error);
+  // Fallbacks for missing keys pass through unchecked.
+  EXPECT_DOUBLE_EQ(c.get_positive_double("missing", 7.0), 7.0);
+}
+
 TEST(ConfigFile, MalformedLinesThrow) {
   EXPECT_THROW(ConfigFile::parse("just some words\n"), std::runtime_error);
   EXPECT_THROW(ConfigFile::parse("= value\n"), std::runtime_error);
@@ -131,6 +159,33 @@ TEST(ScenarioIo, InvalidScenarioRejected) {
   EXPECT_THROW(scenario_from_config(ConfigFile::parse("nodes = 0")), std::invalid_argument);
   EXPECT_THROW(scenario_from_config(ConfigFile::parse("policy = blam\ntheta = 0")),
                std::invalid_argument);
+}
+
+TEST(ScenarioIo, NonFiniteAndNonPositiveValuesRejectedAtParse) {
+  // The parse layer rejects these before validate() ever runs, naming the key.
+  for (const char* text : {"radius_m = nan", "radius_m = inf", "radius_m = -100",
+                           "radius_m = 0", "battery_days = nan", "battery_days = 0",
+                           "duty_cycle = -0.01", "min_period_min = 0",
+                           "period_jitter = -0.1", "initial_soc = nan",
+                           "supercap_leak_per_day = -1", "forecast_error_sigma = -2"}) {
+    EXPECT_THROW(scenario_from_config(ConfigFile::parse(text)), std::runtime_error) << text;
+  }
+  try {
+    (void)scenario_from_config(ConfigFile::parse("battery_days = -3"));
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("battery_days"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ScenarioIo, AuditKeysParseAndValidate) {
+  const ScenarioConfig c =
+      scenario_from_config(ConfigFile::parse("audit_level = 2\naudit_throw = true"));
+  EXPECT_EQ(c.audit.level, 2);
+  EXPECT_TRUE(c.audit.throw_on_violation);
+  EXPECT_EQ(scenario_from_config(ConfigFile::parse("")).audit.level, 0);
+  EXPECT_THROW(scenario_from_config(ConfigFile::parse("audit_level = 3")), std::runtime_error);
+  EXPECT_THROW(scenario_from_config(ConfigFile::parse("audit_level = -1")), std::runtime_error);
 }
 
 TEST(ScenarioIo, DescribeMentionsKeyFields) {

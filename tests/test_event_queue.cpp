@@ -110,6 +110,49 @@ TEST(EventQueue, SlotsAreRecycledUnderChurn) {
   EXPECT_LE(drained, 17u);
 }
 
+TEST(EventQueue, CancelRescheduleChurnPreservesMonotonicityAndLiveness) {
+  // The retransmission path cancels and re-schedules the same logical timer
+  // constantly; under that churn pops must stay time-ordered and exactly the
+  // live (never-cancelled) events must fire.
+  EventQueue q;
+  Rng rng{777};
+  std::vector<EventHandle> pending;
+  std::size_t scheduled = 0;
+  std::size_t cancelled = 0;
+  std::size_t fired = 0;
+  Time now = Time::zero();
+
+  for (int round = 0; round < 20'000; ++round) {
+    const int op = rng.uniform_int(0, 9);
+    if (op < 5 || pending.empty()) {
+      // Schedule at or after `now` — the engine's contract.
+      const Time t = now + Time::from_us(rng.uniform_int(0, 60'000'000));
+      pending.push_back(q.schedule(t, [] {}));
+      ++scheduled;
+    } else if (op < 8) {
+      // Cancel a random pending handle (it may have fired already).
+      const std::size_t k =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(pending.size()) - 1));
+      if (q.cancel(pending[k])) ++cancelled;
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(k));
+    } else if (!q.empty()) {
+      // Pop: time must never regress.
+      auto [t, cb] = q.pop();
+      ASSERT_GE(t.us(), now.us()) << "round " << round;
+      now = t;
+      ++fired;
+    }
+  }
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    ASSERT_GE(t.us(), now.us());
+    now = t;
+    ++fired;
+  }
+  EXPECT_EQ(fired + cancelled, scheduled);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, RandomizedOrderingProperty) {
   EventQueue q;
   Rng rng{1234};

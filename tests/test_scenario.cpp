@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "mac/greedy_green_mac.hpp"
 
 namespace blam {
@@ -79,6 +82,35 @@ TEST(ScenarioValidation, CatchesEachBadField) {
   expect_invalid([](ScenarioConfig& c) { c.supercap_tx_buffer = -1.0; });
   expect_invalid([](ScenarioConfig& c) { c.supercap_efficiency = 0.0; });
   expect_invalid([](ScenarioConfig& c) { c.supercap_leak_per_day = 1.0; });
+}
+
+TEST(ScenarioValidation, RejectsNonFiniteFieldsNamingTheField) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  {
+    ScenarioConfig c = lorawan_scenario(10, 1);
+    c.theta = nan;
+    try {
+      c.validate();
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string{e.what()}.find("theta"), std::string::npos) << e.what();
+      EXPECT_NE(std::string{e.what()}.find("finite"), std::string::npos) << e.what();
+    }
+  }
+  auto expect_invalid = [](auto mutate) {
+    ScenarioConfig c = lorawan_scenario(10, 1);
+    mutate(c);
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  };
+  expect_invalid([=](ScenarioConfig& c) { c.radius_m = inf; });
+  expect_invalid([=](ScenarioConfig& c) { c.battery_days = nan; });
+  expect_invalid([=](ScenarioConfig& c) { c.duty_cycle = inf; });
+  expect_invalid([=](ScenarioConfig& c) { c.w_b = nan; });
+  expect_invalid([=](ScenarioConfig& c) { c.tx_power_dbm = nan; });
+  expect_invalid([=](ScenarioConfig& c) { c.supercap_efficiency = inf; });
+  expect_invalid([=](ScenarioConfig& c) { c.forecast_error_sigma = nan; });
+  expect_invalid([=](ScenarioConfig& c) { c.initial_soc = -nan; });
 }
 
 TEST(ScenarioValidation, WindowsForRoundsDown) {

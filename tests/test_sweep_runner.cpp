@@ -9,6 +9,8 @@
 #include <bit>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -231,6 +233,119 @@ TEST(SweepRunnerTest, ParallelLifespanGridMatchesSerial) {
                 bits(reference[i].max_degradation_series[k]));
     }
   }
+}
+
+// --- Campaign integration: codec exactness + resume bit-identity -----------
+
+TEST(SweepRunnerTest, LifespanCodecRoundTripsBitForBit) {
+  LifespanResult result;
+  result.label = "H-50 with spaces, commas, and a # mark";
+  result.lifespan = Time::from_days(1234.5);
+  result.reached_eol = true;
+  result.series_step = Time::from_days(30.44);
+  result.max_degradation_series = {0.0, 0.1 + 0.2, -0.0, 1e-308, 0.19999999999999998};
+
+  const LifespanResult back = deserialize_lifespan_result(serialize_lifespan_result(result));
+  EXPECT_EQ(back.label, result.label);
+  EXPECT_EQ(back.lifespan.us(), result.lifespan.us());
+  EXPECT_EQ(back.reached_eol, result.reached_eol);
+  EXPECT_EQ(back.series_step.us(), result.series_step.us());
+  ASSERT_EQ(back.max_degradation_series.size(), result.max_degradation_series.size());
+  for (std::size_t i = 0; i < back.max_degradation_series.size(); ++i) {
+    EXPECT_EQ(bits(back.max_degradation_series[i]), bits(result.max_degradation_series[i]));
+  }
+
+  EXPECT_THROW(deserialize_lifespan_result("not a payload"), std::runtime_error);
+  EXPECT_THROW(deserialize_lifespan_result("L1 1 5 5 2 0000000000000000"),
+               std::runtime_error);  // truncated word list
+}
+
+TEST(SweepRunnerTest, ResumedLifespanGridIsBitIdenticalAtAnyJobCount) {
+  namespace fs = std::filesystem;
+  const std::string journal =
+      (fs::temp_directory_path() /
+       ("blam_test_resume." + std::to_string(::getpid()) + ".journal"))
+          .string();
+  fs::remove(journal);
+
+  std::vector<ScenarioCell> cells;
+  const auto trace = build_shared_trace(lorawan_scenario(4, 21));
+  cells.push_back({lorawan_scenario(4, 21), trace});
+  cells.push_back({blam_scenario(4, 0.5, 21), trace});
+  cells.push_back({blam_scenario(4, 1.0, 21), trace});
+  const Time max_duration = Time::from_days(20.0);
+  const Time step = Time::from_days(5.0);
+
+  // Reference: the whole grid in one uninterrupted campaign.
+  CampaignOptions options;
+  options.sweep.jobs = 1;
+  options.quarantine_path.clear();
+  options.journal_path = journal;
+  const std::vector<LifespanResult> reference =
+      run_lifespans(cells, max_duration, step, options);
+  ASSERT_TRUE(fs::exists(journal));
+
+  // Simulate a kill after two cells: keep the first two journal lines only.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in{journal};
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 3u);
+
+  for (int jobs : {1, 4}) {
+    {
+      std::ofstream out{journal, std::ios::trunc};
+      out << lines[0] << "\n" << lines[1] << "\n";
+    }
+    CampaignOptions resume = options;
+    resume.sweep.jobs = jobs;
+    const std::vector<LifespanResult> resumed =
+        run_lifespans(cells, max_duration, step, resume);
+    ASSERT_EQ(resumed.size(), reference.size()) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < resumed.size(); ++i) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs) + " cell=" + std::to_string(i));
+      EXPECT_EQ(resumed[i].label, reference[i].label);
+      EXPECT_EQ(resumed[i].reached_eol, reference[i].reached_eol);
+      EXPECT_EQ(resumed[i].lifespan.us(), reference[i].lifespan.us());
+      EXPECT_EQ(resumed[i].series_step.us(), reference[i].series_step.us());
+      ASSERT_EQ(resumed[i].max_degradation_series.size(),
+                reference[i].max_degradation_series.size());
+      for (std::size_t k = 0; k < resumed[i].max_degradation_series.size(); ++k) {
+        EXPECT_EQ(bits(resumed[i].max_degradation_series[k]),
+                  bits(reference[i].max_degradation_series[k]));
+      }
+    }
+  }
+  fs::remove(journal);
+}
+
+TEST(SweepRunnerTest, ScenarioCampaignRejectsJournalButRunsOtherwise) {
+  std::vector<ScenarioCell> cells;
+  cells.push_back({lorawan_scenario(4, 21), nullptr});
+  const Time duration = Time::from_days(2.0);
+
+  CampaignOptions with_journal;
+  with_journal.journal_path = "anywhere.journal";
+  EXPECT_THROW((void)run_scenarios(cells, duration, with_journal), std::invalid_argument);
+
+  CampaignOptions options;
+  options.sweep.jobs = 1;
+  options.quarantine_path.clear();
+  const std::vector<ExperimentResult> campaign = run_scenarios(cells, duration, options);
+  const ExperimentResult plain = run_scenario(cells[0].config, duration, cells[0].trace);
+  ASSERT_EQ(campaign.size(), 1u);
+  expect_bit_identical(plain, campaign[0]);
+}
+
+TEST(SweepRunnerTest, CancellableRunScenarioIsBitIdenticalToUncancelled) {
+  const ScenarioConfig config = blam_scenario(4, 0.5, 33);
+  const Time duration = Time::from_days(3.0);
+  const ExperimentResult plain = run_scenario(config, duration);
+  const CellToken token;  // never cancelled: slicing must not change anything
+  const ExperimentResult sliced = run_scenario(config, duration, nullptr, &token);
+  expect_bit_identical(plain, sliced);
 }
 
 }  // namespace
