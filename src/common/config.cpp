@@ -67,7 +67,7 @@ const std::string* ConfigFile::find(const std::string& key) const {
   return &it->second;
 }
 
-bool ConfigFile::has(const std::string& key) const { return values_.count(key) > 0; }
+bool ConfigFile::has(const std::string& key) const { return values_.contains(key); }
 
 std::string ConfigFile::get_string(const std::string& key, const std::string& fallback) const {
   const std::string* v = find(key);
@@ -136,7 +136,7 @@ bool ConfigFile::get_bool(const std::string& key, bool fallback) const {
 std::vector<std::string> ConfigFile::unused_keys() const {
   std::vector<std::string> unused;
   for (const auto& [key, value] : values_) {
-    if (touched_.count(key) == 0) unused.push_back(key);
+    if (!touched_.contains(key)) unused.push_back(key);
   }
   return unused;
 }

@@ -8,31 +8,35 @@ namespace blam {
 DegradationService::DegradationService(const DegradationModel& model, double temperature_c)
     : model_{model}, temperature_c_{temperature_c} {}
 
-void DegradationService::register_node(std::uint32_t node_id) {
-  auto [it, inserted] = nodes_.try_emplace(node_id);
-  if (inserted) {
-    it->second.tracker = std::make_unique<DegradationTracker>(model_, temperature_c_);
-  }
-}
-
-void DegradationService::ingest(std::uint32_t node_id, std::span<const SocSample> samples) {
+DegradationService::NodeState& DegradationService::obtain(std::uint32_t node_id) {
   // Single hash lookup: try_emplace both registers an unknown node and
   // finds a known one (this runs once per delivered SoC report).
   auto [it, inserted] = nodes_.try_emplace(node_id);
   if (inserted) {
     it->second.tracker = std::make_unique<DegradationTracker>(model_, temperature_c_);
+    ids_.insert(std::lower_bound(ids_.begin(), ids_.end(), node_id), node_id);
   }
-  DegradationTracker& tracker = *it->second.tracker;
+  return it->second;
+}
+
+void DegradationService::register_node(std::uint32_t node_id) { obtain(node_id); }
+
+void DegradationService::ingest(std::uint32_t node_id, std::span<const SocSample> samples) {
+  DegradationTracker& tracker = *obtain(node_id).tracker;
   for (const SocSample& s : samples) tracker.record(s.t, s.soc);
 }
 
 void DegradationService::recompute(Time now) {
+  // Canonical pass order: ascending node id via ids_, never the hash table
+  // (see the member comment in the header).
   max_degradation_ = 0.0;
-  for (auto& [id, state] : nodes_) {
+  for (const std::uint32_t id : ids_) {
+    NodeState& state = nodes_.find(id)->second;
     state.degradation = state.tracker->degradation(now);
     max_degradation_ = std::max(max_degradation_, state.degradation);
   }
-  for (auto& [id, state] : nodes_) {
+  for (const std::uint32_t id : ids_) {
+    NodeState& state = nodes_.find(id)->second;
     state.normalized = max_degradation_ > 0.0 ? state.degradation / max_degradation_ : 0.0;
   }
 }

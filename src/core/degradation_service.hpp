@@ -66,9 +66,21 @@ class DegradationService {
 
   [[nodiscard]] const NodeState& state_of(std::uint32_t node_id) const;
 
+  /// Finds-or-creates the state for `node_id` with a single hash lookup,
+  /// keeping the sorted ids_ index in step.
+  NodeState& obtain(std::uint32_t node_id);
+
   DegradationModel model_;
   double temperature_c_;
+  // Lookup-only by node id on the per-uplink path; every full pass
+  // (recompute) walks `ids_` below, never the hash table.
+  // blam-lint: allow(D2) -- never iterated: recompute() walks the sorted ids_ index
   std::unordered_map<std::uint32_t, NodeState> nodes_;
+  /// Ascending node ids, maintained sorted on insert: recompute() iterates
+  /// this index so w_u passes are in canonical id order regardless of hash
+  /// layout (D_max via std::max is order-independent anyway, but sorted
+  /// iteration keeps the pass order reproducible by inspection).
+  std::vector<std::uint32_t> ids_;
   double max_degradation_{0.0};
 };
 

@@ -59,6 +59,7 @@ class ThetaController {
   };
 
   Config config_;
+  // blam-lint: allow(D2) -- lookup-only by node id (on_delivery/theta); never iterated
   std::unordered_map<std::uint32_t, NodeState> nodes_;
 };
 

@@ -18,6 +18,7 @@ class Battery {
   /// Creates a battery with `original_capacity` and an initial stored energy
   /// of `initial_soc * original_capacity`. Throws on non-positive capacity
   /// or initial SoC outside [0, 1].
+  // blam-lint: allow(U1) -- SoC is a dimensionless fraction in [0,1]; no strong unit applies
   Battery(Energy original_capacity, double initial_soc);
 
   [[nodiscard]] Energy original_capacity() const { return original_capacity_; }

@@ -19,11 +19,18 @@ struct ThermalConfig {
 
   // Outdoor model (used when insulated == false):
   //   T(t) = mean + seasonal * cos(year phase) + diurnal * cos(day phase)
-  // with the year's coldest point in mid-January and the day's coldest at
-  // ~4 am.
+  // with the year's coldest point at `seasonal_trough` into the year and
+  // the day's coldest at `diurnal_trough` into the day.
   double mean_c{15.0};
   double seasonal_amplitude_c{10.0};
   double diurnal_amplitude_c{6.0};
+
+  // Phase troughs are strongly-typed simulation times (U1: raw double
+  // days/hours cannot sneak back in). Defaults: mid-January, ~4 am.
+  /// Offset into the year of the seasonal minimum; must lie in [0, 365 d).
+  Time seasonal_trough{Time::from_days(15.0)};
+  /// Offset into the day of the diurnal minimum; must lie in [0, 24 h).
+  Time diurnal_trough{Time::from_hours(4.0)};
 };
 
 class TemperatureModel {

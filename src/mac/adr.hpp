@@ -65,6 +65,7 @@ class AdrController {
   };
 
   Config config_;
+  // blam-lint: allow(D2) -- lookup-only by node id (observe/advise); never iterated
   std::unordered_map<std::uint32_t, History> nodes_;
 };
 

@@ -106,6 +106,10 @@ ScenarioConfig scenario_from_config(const ConfigFile& file) {
       file.get_double("ambient_seasonal_c", c.thermal.seasonal_amplitude_c);
   c.thermal.diurnal_amplitude_c =
       file.get_double("ambient_diurnal_c", c.thermal.diurnal_amplitude_c);
+  c.thermal.seasonal_trough = Time::from_days(
+      file.get_non_negative_double("ambient_coldest_day", c.thermal.seasonal_trough.days()));
+  c.thermal.diurnal_trough = Time::from_hours(
+      file.get_non_negative_double("ambient_coldest_hour", c.thermal.diurnal_trough.hours()));
   c.dissemination_period =
       Time::from_days(file.get_positive_double("dissemination_days", c.dissemination_period.days()));
   const std::string chemistry = file.get_string("chemistry", "lmo");

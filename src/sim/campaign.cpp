@@ -67,8 +67,10 @@ namespace fs = std::filesystem;
 /// Tolerant journal load: returns key-hash -> payload for every intact `v1`
 /// line; malformed, torn, or hash-mismatched lines are skipped (a kill -9
 /// mid-append damages at most the final line).
+// blam-lint: allow(D2) -- key-hash lookup table; queried by find() only, never iterated
 [[nodiscard]] std::unordered_map<std::uint64_t, std::string> load_journal(
     const std::string& path) {
+  // blam-lint: allow(D2) -- resumed results land in submission-order slots, not map order
   std::unordered_map<std::uint64_t, std::string> done;
   std::ifstream in{path};
   if (!in) return done;

@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "common/units.hpp"
 #include "sim/event_queue.hpp"
@@ -69,7 +68,10 @@ class Simulator {
 /// Owns its pending event; destroying the process cancels it.
 class PeriodicProcess {
  public:
-  using Tick = std::function<void()>;
+  // Same non-allocating callable the event queue itself uses: ticks fire on
+  // the hot path, so the periodic closure lives in the 48-byte inline
+  // buffer rather than behind a std::function heap cell.
+  using Tick = InlineCallback;
 
   PeriodicProcess(Simulator& sim, Time first, Time period, Tick tick);
   ~PeriodicProcess();

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <numbers>
+
 #include "degradation/tracker.hpp"
 #include "net/experiment.hpp"
 
@@ -47,6 +50,57 @@ TEST(TemperatureModel, OutdoorDiurnalShape) {
   const TemperatureModel model{config};
   EXPECT_NEAR(model.at(Time::from_hours(4.0)), 9.0, 0.1);   // coldest 4 am
   EXPECT_NEAR(model.at(Time::from_hours(16.0)), 21.0, 0.1);  // warmest 4 pm
+}
+
+TEST(TemperatureModel, TroughsAreStronglyTypedAndConfigurable) {
+  ThermalConfig config;
+  config.insulated = false;
+  config.seasonal_amplitude_c = 10.0;
+  config.diurnal_amplitude_c = 0.0;
+  config.seasonal_trough = Time::from_days(45.0);  // cold snap in mid-February
+  const TemperatureModel model{config};
+  EXPECT_NEAR(model.at(Time::from_days(45.0)), config.mean_c - 10.0, 0.1);
+  EXPECT_NEAR(model.at(Time::from_days(45.0 + 182.5)), config.mean_c + 10.0, 0.1);
+
+  ThermalConfig night_shift = config;
+  night_shift.seasonal_amplitude_c = 0.0;
+  night_shift.diurnal_amplitude_c = 6.0;
+  night_shift.diurnal_trough = Time::from_hours(6.0);
+  const TemperatureModel shifted{night_shift};
+  EXPECT_NEAR(shifted.at(Time::from_hours(6.0)), night_shift.mean_c - 6.0, 0.1);
+  EXPECT_NEAR(shifted.at(Time::from_hours(18.0)), night_shift.mean_c + 6.0, 0.1);
+}
+
+TEST(TemperatureModel, DefaultTroughsReproduceHistoricalTrace) {
+  // The strong-typing migration must be bit-transparent: the Time-typed
+  // defaults convert back to exactly 15.0 days / 4.0 hours, so the model
+  // reproduces the raw-double formula it replaced digit for digit.
+  ThermalConfig config;
+  config.insulated = false;
+  const TemperatureModel model{config};
+  EXPECT_EQ(config.seasonal_trough.days(), 15.0);
+  EXPECT_EQ(config.diurnal_trough.hours(), 4.0);
+  for (const double day : {0.0, 15.0, 100.25, 200.5, 364.75}) {
+    const Time t = Time::from_days(day);
+    const double d = t.days();
+    const double hour = (d - std::floor(d)) * 24.0;
+    const double expected =
+        config.mean_c -
+        config.seasonal_amplitude_c * std::cos(2.0 * std::numbers::pi * (d - 15.0) / 365.0) -
+        config.diurnal_amplitude_c * std::cos(2.0 * std::numbers::pi * (hour - 4.0) / 24.0);
+    EXPECT_EQ(model.at(t), expected) << "day " << day;
+  }
+}
+
+TEST(TemperatureModel, ValidatesTroughRanges) {
+  ThermalConfig config;
+  config.seasonal_trough = Time::from_days(365.0);
+  EXPECT_THROW(TemperatureModel{config}, std::invalid_argument);
+  config.seasonal_trough = Time::from_days(-1.0);
+  EXPECT_THROW(TemperatureModel{config}, std::invalid_argument);
+  config.seasonal_trough = Time::from_days(15.0);
+  config.diurnal_trough = Time::from_hours(24.0);
+  EXPECT_THROW(TemperatureModel{config}, std::invalid_argument);
 }
 
 TEST(TrackerThermal, ConstantTemperatureMatchesLegacyFormula) {

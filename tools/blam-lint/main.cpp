@@ -1,0 +1,135 @@
+// blam-lint CLI. With no path arguments it scans the standard source roots
+// (src, bench, examples, tests, tools) under --root; exit status is nonzero
+// iff any unsuppressed finding exists, so CI can gate on it directly.
+#include "blam-lint/lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h";
+}
+
+void collect(const fs::path& root, std::vector<std::string>& files) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    files.push_back(root.generic_string());
+    return;
+  }
+  if (!fs::is_directory(root, ec)) return;
+  for (fs::recursive_directory_iterator it{root, ec}, end; it != end && !ec; it.increment(ec)) {
+    if (it->is_regular_file(ec) && lintable(it->path())) {
+      files.push_back(it->path().generic_string());
+    }
+  }
+}
+
+void print_usage() {
+  std::printf(
+      "usage: blam-lint [--root DIR] [--json] [--show-suppressed] [--list-rules] [paths...]\n"
+      "\n"
+      "Lints the given files/directories (default: src bench examples tests tools\n"
+      "under --root, which defaults to the current directory). Exits 1 when any\n"
+      "unsuppressed finding remains, 2 on usage/IO errors.\n"
+      "\n"
+      "Suppress a finding inline, with a mandatory justification:\n"
+      "  // blam-lint: allow(D2) -- lookup-only by id; never iterated\n"
+      "A trailing comment covers its own line; a comment on its own line covers\n"
+      "the next line.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool show_suppressed = false;
+  std::string root = ".";
+  std::vector<std::string> args;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--show-suppressed") {
+      show_suppressed = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& info : blam::lint::rule_infos()) {
+        std::printf("%s  %s\n", info.id.c_str(), info.summary.c_str());
+      }
+      return 0;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "blam-lint: --root needs an argument\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "blam-lint: unknown option %s\n", arg.c_str());
+      print_usage();
+      return 2;
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> files;
+  if (args.empty()) {
+    for (const char* dir : {"src", "bench", "examples", "tests", "tools"}) {
+      collect(fs::path{root} / dir, files);
+    }
+  } else {
+    for (const std::string& a : args) collect(fs::path{a}, files);
+  }
+  // Deterministic report order regardless of directory enumeration order.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  if (files.empty()) {
+    std::fprintf(stderr, "blam-lint: no lintable files found (root: %s)\n", root.c_str());
+    return 2;
+  }
+
+  std::vector<blam::lint::Finding> all;
+  for (const std::string& file : files) {
+    try {
+      auto findings = blam::lint::lint_file(file);
+      all.insert(all.end(), std::make_move_iterator(findings.begin()),
+                 std::make_move_iterator(findings.end()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
+  std::size_t active = 0;
+  std::size_t suppressed = 0;
+  for (const auto& f : all) {
+    f.suppressed ? ++suppressed : ++active;
+  }
+
+  if (json) {
+    std::vector<blam::lint::Finding> report;
+    std::copy_if(all.begin(), all.end(), std::back_inserter(report),
+                 [show_suppressed](const auto& f) { return show_suppressed || !f.suppressed; });
+    std::fputs(blam::lint::to_json(report).c_str(), stdout);
+  } else {
+    for (const auto& f : all) {
+      if (f.suppressed && !show_suppressed) continue;
+      std::printf("%s\n", blam::lint::to_string(f).c_str());
+    }
+    std::printf("blam-lint: %zu file(s), %zu finding(s), %zu suppressed\n", files.size(), active,
+                suppressed);
+  }
+  return active == 0 ? 0 : 1;
+}

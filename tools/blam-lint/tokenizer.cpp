@@ -1,0 +1,258 @@
+#include "blam-lint/lint.hpp"
+
+#include <cctype>
+
+namespace blam::lint {
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_{src} {}
+
+  [[nodiscard]] bool done() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int col() const { return col_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::string_view slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+      line_has_code_ = false;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  /// Whether anything other than whitespace appeared on the current line so
+  /// far (decides Comment::own_line).
+  [[nodiscard]] bool line_has_code() const { return line_has_code_; }
+  void mark_code() { line_has_code_ = true; }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_{0};
+  int line_{1};
+  int col_{1};
+  bool line_has_code_{false};
+};
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// True when `text` is a valid raw-string prefix ending in R (R, u8R, uR,
+/// UR, LR): the identifier immediately before `"` that switches the lexer
+/// into raw-string mode.
+[[nodiscard]] bool is_raw_string_prefix(std::string_view text) {
+  return text == "R" || text == "u8R" || text == "uR" || text == "UR" || text == "LR";
+}
+
+/// Consumes a quoted literal (string or char) including escapes; the
+/// opening quote has already been consumed.
+void consume_quoted(Cursor& cur, char quote) {
+  while (!cur.done()) {
+    const char c = cur.advance();
+    if (c == '\\' && !cur.done()) {
+      cur.advance();
+    } else if (c == quote || c == '\n') {
+      // A newline ends the literal too: unterminated literals must not eat
+      // the rest of the file (the linter is tolerant of broken fixtures).
+      return;
+    }
+  }
+}
+
+/// Consumes `R"delim( ... )delim"`; the opening quote has been consumed.
+void consume_raw_string(Cursor& cur) {
+  std::string delim;
+  while (!cur.done() && cur.peek() != '(') delim += cur.advance();
+  if (cur.done()) return;
+  cur.advance();  // '('
+  const std::string closer = ")" + delim + "\"";
+  std::string window;
+  while (!cur.done()) {
+    window += cur.advance();
+    if (window.size() > closer.size()) window.erase(window.begin());
+    if (window == closer) return;
+  }
+}
+
+/// Consumes a preprocessor directive to end of line, honouring backslash
+/// continuations; the '#' has been consumed.
+void consume_directive(Cursor& cur) {
+  while (!cur.done()) {
+    const char c = cur.peek();
+    if (c == '\\' && (cur.peek(1) == '\n' || (cur.peek(1) == '\r' && cur.peek(2) == '\n'))) {
+      cur.advance();  // backslash
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      if (!cur.done()) cur.advance();  // the newline: directive continues
+      continue;
+    }
+    if (c == '\n') return;  // leave the newline for the main loop
+    cur.advance();
+  }
+}
+
+/// Consumes a pp-number: digits, identifier chars, digit separators, dots,
+/// and exponent signs. Digit separators (1'000'000) matter: without this
+/// the char-literal scanner would swallow the rest of the line.
+void consume_number(Cursor& cur) {
+  while (!cur.done()) {
+    const char c = cur.peek();
+    if (is_ident_char(c) || c == '.') {
+      cur.advance();
+    } else if (c == '\'' && is_ident_char(cur.peek(1))) {
+      cur.advance();
+      cur.advance();
+    } else if ((c == '+' || c == '-') && !cur.done()) {
+      // Sign is part of the number only right after an exponent marker.
+      const std::size_t len = cur.pos();
+      const char prev = len > 0 ? cur.slice(len - 1)[0] : '\0';
+      if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+        cur.advance();
+      } else {
+        return;
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+TokenizedSource tokenize(std::string_view source) {
+  TokenizedSource out;
+  Cursor cur{source};
+
+  auto push = [&out](TokKind kind, std::string text, int line, int col) {
+    out.tokens.push_back(Token{kind, std::move(text), line, col});
+  };
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+    const int line = cur.line();
+    const int col = cur.col();
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' || c == '\v') {
+      cur.advance();
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && cur.peek(1) == '/') {
+      const bool own = !cur.line_has_code();
+      cur.advance();
+      cur.advance();
+      const std::size_t start = cur.pos();
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      out.comments.push_back(Comment{std::string{cur.slice(start)}, line, own});
+      continue;
+    }
+
+    // Block comment (may span lines; suppressions anchor to the END line so
+    // `/* ... */ code` on one line behaves like a trailing comment).
+    if (c == '/' && cur.peek(1) == '*') {
+      const bool own = !cur.line_has_code();
+      cur.advance();
+      cur.advance();
+      const std::size_t start = cur.pos();
+      std::size_t end = start;
+      while (!cur.done()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+          end = cur.pos();
+          cur.advance();
+          cur.advance();
+          break;
+        }
+        end = cur.pos() + 1;
+        cur.advance();
+      }
+      out.comments.push_back(
+          Comment{std::string{source.substr(start, end - start)}, cur.line(), own});
+      continue;
+    }
+
+    // Preprocessor directive: only when '#' is the first non-space token on
+    // the line (a '#' mid-line would be a stray punctuator).
+    if (c == '#' && !cur.line_has_code()) {
+      cur.mark_code();
+      cur.advance();
+      consume_directive(cur);
+      continue;
+    }
+
+    cur.mark_code();
+
+    if (is_ident_start(c)) {
+      const std::size_t start = cur.pos();
+      while (!cur.done() && is_ident_char(cur.peek())) cur.advance();
+      std::string text{cur.slice(start)};
+      if (cur.peek() == '"' && is_raw_string_prefix(text)) {
+        cur.advance();  // opening quote
+        consume_raw_string(cur);
+        push(TokKind::kString, std::move(text), line, col);
+      } else if (cur.peek() == '"' || cur.peek() == '\'') {
+        // Encoding prefix on an ordinary literal (u8"...", L'x').
+        const char quote = cur.advance();
+        consume_quoted(cur, quote);
+        push(quote == '"' ? TokKind::kString : TokKind::kChar, std::move(text), line, col);
+      } else {
+        push(TokKind::kIdentifier, std::move(text), line, col);
+      }
+      continue;
+    }
+
+    if (is_digit(c) || (c == '.' && is_digit(cur.peek(1)))) {
+      const std::size_t start = cur.pos();
+      cur.advance();
+      consume_number(cur);
+      push(TokKind::kNumber, std::string{cur.slice(start)}, line, col);
+      continue;
+    }
+
+    if (c == '"') {
+      cur.advance();
+      consume_quoted(cur, '"');
+      push(TokKind::kString, "", line, col);
+      continue;
+    }
+
+    if (c == '\'') {
+      cur.advance();
+      consume_quoted(cur, '\'');
+      push(TokKind::kChar, "", line, col);
+      continue;
+    }
+
+    // '::' as a single token so rules can tell scope resolution from the
+    // range-for colon.
+    if (c == ':' && cur.peek(1) == ':') {
+      cur.advance();
+      cur.advance();
+      push(TokKind::kPunct, "::", line, col);
+      continue;
+    }
+
+    cur.advance();
+    push(TokKind::kPunct, std::string(1, c), line, col);
+  }
+
+  return out;
+}
+
+}  // namespace blam::lint
