@@ -63,6 +63,11 @@ fault_reboot_duration_min = 10
 fault_drought_start_days = 0        # solar drought interval
 fault_drought_duration_days = 0
 fault_drought_scale = 1
+fault_report_loss = 0               # per-report SoC feedback-pipe faults
+fault_report_dup = 0                # (probabilities; sum must be <= 1)
+fault_report_reorder = 0
+fault_report_corrupt = 0
+fault_report_truncate = 0
 stale_feedback_k = 0                # ramp w_u toward 1 past k stale periods
 ack_failure_backoff = false         # budget >>= consecutive ACK-less packets
 )";

@@ -23,6 +23,8 @@ const char* audit_invariant_name(AuditInvariant invariant) {
       return "sequence";
     case AuditInvariant::kFeedbackRange:
       return "feedback-range";
+    case AuditInvariant::kFeedbackConsistency:
+      return "feedback-consistency";
   }
   return "?";
 }
@@ -261,6 +263,17 @@ void Auditor::on_uplink_seq(std::uint32_t node, Time at, std::int64_t seq,
     report(AuditInvariant::kSequence, at, node, static_cast<double>(seq),
            static_cast<double>(prev_seen),
            "server accepted a non-increasing uplink sequence number");
+  }
+}
+
+void Auditor::on_feedback_ledger(std::uint32_t node, Time at, double gateway_estimate,
+                                 double node_truth) {
+  ++checks_run_;
+  const double bound =
+      node_truth * (1.0 + config_.feedback_rel_tolerance) + config_.feedback_abs_tolerance;
+  if (gateway_estimate > bound) {
+    report(AuditInvariant::kFeedbackConsistency, at, node, gateway_estimate, bound,
+           "gateway ledger degradation exceeds the node's own tracker");
   }
 }
 

@@ -48,6 +48,12 @@ enum class AuditInvariant {
   kSequence,
   /// Disseminated normalized degradation w_u in [0, 1].
   kFeedbackRange,
+  /// Fault-free only: the gateway ledger's per-node degradation estimate
+  /// must not exceed the node's own tracker by more than the configured
+  /// tolerance. One-sided — the gateway sees a subsampled trace and
+  /// legitimately underestimates; a ledger *inflating* degradation means
+  /// the ingest pipeline fabricated aging.
+  kFeedbackConsistency,
 };
 
 [[nodiscard]] const char* audit_invariant_name(AuditInvariant invariant);
@@ -79,6 +85,11 @@ struct AuditConfig {
   double abs_tolerance_j{1e-9};
   /// Tolerance for dimensionless bounds (SoC, degradation, w_u).
   double soc_tolerance{1e-9};
+  /// Feedback-consistency slack: the ledger may exceed node truth by
+  /// rel * truth + abs before it counts as fabrication. The gateway's
+  /// trace is minute-quantized and subsampled, so this is loose by design.
+  double feedback_rel_tolerance{0.05};
+  double feedback_abs_tolerance{1e-6};
   /// Level 1: run each invariant's arithmetic on every n-th observation.
   int sample_every{16};
   /// Violations kept for reporting (the count is always exact).
@@ -140,6 +151,12 @@ class Auditor {
   /// Server accepted a non-duplicate uplink; `prev_seen` is the highest
   /// sequence previously delivered for the node (-1 = none).
   void on_uplink_seq(std::uint32_t node, Time at, std::int64_t seq, std::int64_t prev_seen);
+
+  /// Gateway ledger estimate vs node ground truth at a recompute instant
+  /// (called by the NetworkServer on fault-free runs only; see
+  /// kFeedbackConsistency).
+  void on_feedback_ledger(std::uint32_t node, Time at, double gateway_estimate,
+                          double node_truth);
 
   // --- results -------------------------------------------------------------
 

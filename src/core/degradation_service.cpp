@@ -1,9 +1,77 @@
 #include "core/degradation_service.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
+#include <string>
+
+#include "common/checksum.hpp"
 
 namespace blam {
+
+namespace {
+
+// --- checkpoint text helpers -----------------------------------------------
+// Doubles travel as 16-hex-digit bit patterns (lossless round trip; the
+// campaign journal set the precedent), times as signed microseconds.
+
+std::string hex_double(double v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, std::bit_cast<std::uint64_t>(v));
+  return buf;
+}
+
+double parse_hex_double(const std::string& s) {
+  if (s.size() != 16) throw std::runtime_error{"ledger checkpoint: malformed double '" + s + "'"};
+  return std::bit_cast<double>(static_cast<std::uint64_t>(std::stoull(s, nullptr, 16)));
+}
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* ledger_health_name(LedgerHealth health) {
+  switch (health) {
+    case LedgerHealth::kHealthy:
+      return "healthy";
+    case LedgerHealth::kGapped:
+      return "gapped";
+    case LedgerHealth::kQuarantined:
+      return "quarantined";
+    case LedgerHealth::kRecovered:
+      return "recovered";
+  }
+  return "?";
+}
+
+std::uint8_t report_checksum(std::uint16_t report_seq, std::span<const SocSample> samples) {
+  // Canonical little-endian image: seq(2) then per sample t.us()(8) + the
+  // SoC double's bit pattern(8). Bit patterns (not value comparisons) so a
+  // single flipped mantissa bit changes the checksum.
+  std::uint8_t crc = 0x00;
+  const auto put = [&crc](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) crc = crc8_step(crc, static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  put(report_seq, 2);
+  for (const SocSample& sample : samples) {
+    put(static_cast<std::uint64_t>(sample.t.us()), 8);
+    put(std::bit_cast<std::uint64_t>(sample.soc), 8);
+  }
+  return crc;
+}
 
 DegradationService::DegradationService(const DegradationModel& model, double temperature_c)
     : model_{model}, temperature_c_{temperature_c} {}
@@ -21,9 +89,167 @@ DegradationService::NodeState& DegradationService::obtain(std::uint32_t node_id)
 
 void DegradationService::register_node(std::uint32_t node_id) { obtain(node_id); }
 
+void DegradationService::accept_samples(NodeState& state, std::span<const SocSample> samples) {
+  for (const SocSample& s : samples) {
+    if (!std::isfinite(s.soc) || s.soc < 0.0 || s.soc > 1.0) {
+      ++counters_.samples_rejected_range;
+      continue;
+    }
+    if (state.has_data && s.t < state.last_sample_t) {
+      ++counters_.samples_rejected_nonmonotonic;
+      continue;
+    }
+    state.tracker->record(s.t, s.soc);
+    if (!state.has_data) state.first_sample_t = s.t;
+    state.last_sample_t = s.t;
+    state.has_data = true;
+  }
+}
+
 void DegradationService::ingest(std::uint32_t node_id, std::span<const SocSample> samples) {
-  DegradationTracker& tracker = *obtain(node_id).tracker;
-  for (const SocSample& s : samples) tracker.record(s.t, s.soc);
+  accept_samples(obtain(node_id), samples);
+}
+
+void DegradationService::apply_report(NodeState& state, std::span<const SocSample> samples,
+                                      bool bridged_gap) {
+  if (bridged_gap) {
+    ++counters_.gaps_bridged;
+    // The trapezoid inside the tracker interpolates linearly across the
+    // missing reports; account the bridged span as estimated, not observed.
+    if (state.has_data && !samples.empty() && samples.front().t > state.last_sample_t) {
+      state.estimated_gap_s += (samples.front().t - state.last_sample_t).seconds();
+    }
+    if (state.health == LedgerHealth::kHealthy) state.health = LedgerHealth::kGapped;
+  }
+  accept_samples(state, samples);
+  ++counters_.reports_accepted;
+}
+
+void DegradationService::drain_held(NodeState& state) {
+  while (!state.held.empty() &&
+         state.held.front().seq == static_cast<std::uint16_t>(state.last_seq + 1)) {
+    const HeldReport report = std::move(state.held.front());
+    state.held.erase(state.held.begin());
+    state.last_seq = report.seq;
+    apply_report(state, report.samples, /*bridged_gap=*/false);
+    ++counters_.reports_reassembled;
+  }
+}
+
+void DegradationService::flush_held(NodeState& state) {
+  for (HeldReport& report : state.held) {
+    const bool gap = report.seq != static_cast<std::uint16_t>(state.last_seq + 1);
+    state.last_seq = report.seq;
+    apply_report(state, report.samples, gap);
+    ++counters_.reports_reassembled;
+  }
+  state.held.clear();
+}
+
+void DegradationService::hold(NodeState& state, std::uint16_t report_seq,
+                              std::span<const SocSample> samples) {
+  // Serial order key: forward distance from the last applied sequence.
+  const auto distance = [&state](std::uint16_t seq) {
+    return static_cast<std::uint16_t>(seq - state.last_seq);
+  };
+  auto it = state.held.begin();
+  for (; it != state.held.end(); ++it) {
+    if (it->seq == report_seq) {
+      ++counters_.reports_duplicate;
+      return;
+    }
+    if (distance(it->seq) > distance(report_seq)) break;
+  }
+  HeldReport held;
+  held.seq = report_seq;
+  held.samples.assign(samples.begin(), samples.end());
+  state.held.insert(it, std::move(held));
+  ++counters_.reports_buffered;
+  if (state.held.size() > kReorderDepth) {
+    // Reassembly buffer exhausted: the missing reports are declared lost
+    // and everything held is applied in serial order with bridged gaps.
+    flush_held(state);
+  }
+}
+
+void DegradationService::mark_clean(NodeState& state) {
+  state.suspicion = 0;
+  ++state.clean_streak;
+  if (state.health == LedgerHealth::kQuarantined && state.clean_streak >= kRecoveryStreak) {
+    state.health = LedgerHealth::kRecovered;
+    ++counters_.recoveries;
+  } else if (state.health == LedgerHealth::kGapped && state.held.empty()) {
+    state.health = LedgerHealth::kHealthy;
+  }
+}
+
+void DegradationService::mark_suspect(NodeState& state) {
+  state.clean_streak = 0;
+  ++state.suspicion;
+  if (state.health != LedgerHealth::kQuarantined && state.suspicion >= kQuarantineThreshold) {
+    state.health = LedgerHealth::kQuarantined;
+    ++counters_.quarantines;
+  }
+}
+
+void DegradationService::ingest_report(std::uint32_t node_id, std::uint16_t report_seq,
+                                       std::uint8_t report_crc,
+                                       std::span<const SocSample> samples) {
+  NodeState& state = obtain(node_id);
+  if (report_crc != report_checksum(report_seq, samples)) {
+    ++counters_.reports_checksum_rejected;
+    mark_suspect(state);
+    return;
+  }
+  if (!state.has_report) {
+    state.has_report = true;
+    state.last_seq = report_seq;
+    apply_report(state, samples, /*bridged_gap=*/false);
+    mark_clean(state);
+    return;
+  }
+  // RFC-1982-style serial arithmetic: the u16 difference reinterpreted as
+  // signed classifies the report relative to the last applied sequence even
+  // across counter wrap.
+  const auto diff =
+      static_cast<std::int16_t>(static_cast<std::uint16_t>(report_seq - state.last_seq));
+  if (diff == 0 || (diff < 0 && diff > -kSeqWindow)) {
+    ++counters_.reports_duplicate;
+    return;
+  }
+  if (diff == 1) {
+    state.last_seq = report_seq;
+    apply_report(state, samples, /*bridged_gap=*/false);
+    drain_held(state);
+    mark_clean(state);
+    return;
+  }
+  if (diff > 1 && diff <= kSeqWindow) {
+    hold(state, report_seq, samples);
+    return;
+  }
+  // Sequence far outside the window: the node's volatile report counter
+  // reset (crash/reboot). Seal the rainflow residual so the SoC break does
+  // not pair into a phantom cycle, drop pre-crash stragglers (no longer
+  // reassemblable in the new sequence space) and resume.
+  ++counters_.discontinuities;
+  state.tracker->mark_discontinuity();
+  state.held.clear();
+  state.last_seq = report_seq;
+  apply_report(state, samples, /*bridged_gap=*/false);
+  mark_clean(state);
+}
+
+double DegradationService::degradation_of(const NodeState& state, Time now) const {
+  // The interpolated-segment policy for bridged gaps: the tracker's
+  // trapezoid integrates calendar aging linearly across the gap and
+  // rainflow pairs turning points straight over it — identical to what the
+  // pre-hardening blind ingest produced for a lost report, which keeps
+  // fault-free runs bit-exact. The estimated share of the trace is FLAGGED
+  // (estimated_gap_s, kGapped health, gaps_bridged) rather than rescaled;
+  // distrust is expressed through quarantine, not through silently
+  // inflating D_u.
+  return state.tracker->degradation(now);
 }
 
 void DegradationService::recompute(Time now) {
@@ -32,12 +258,24 @@ void DegradationService::recompute(Time now) {
   max_degradation_ = 0.0;
   for (const std::uint32_t id : ids_) {
     NodeState& state = nodes_.find(id)->second;
-    state.degradation = state.tracker->degradation(now);
-    max_degradation_ = std::max(max_degradation_, state.degradation);
+    // The dissemination period is the deterministic deadline for late
+    // reports: whatever is still buffered is applied now, gaps bridged.
+    if (!state.held.empty()) flush_held(state);
+    state.degradation = degradation_of(state, now);
+    // Quarantined ledgers hold untrusted (or stale) estimates: they get the
+    // conservative prior below and must not inflate or dilute D_max.
+    if (state.has_data && state.health != LedgerHealth::kQuarantined) {
+      max_degradation_ = std::max(max_degradation_, state.degradation);
+    }
   }
   for (const std::uint32_t id : ids_) {
     NodeState& state = nodes_.find(id)->second;
-    state.normalized = max_degradation_ > 0.0 ? state.degradation / max_degradation_ : 0.0;
+    if (state.health == LedgerHealth::kQuarantined) {
+      state.normalized = 1.0;
+    } else {
+      state.normalized = max_degradation_ > 0.0 ? state.degradation / max_degradation_ : 0.0;
+    }
+    if (state.health == LedgerHealth::kRecovered) state.health = LedgerHealth::kHealthy;
   }
 }
 
@@ -55,6 +293,195 @@ double DegradationService::normalized_degradation(std::uint32_t node_id) const {
 
 double DegradationService::degradation(std::uint32_t node_id) const {
   return state_of(node_id).degradation;
+}
+
+LedgerHealth DegradationService::health(std::uint32_t node_id) const {
+  return state_of(node_id).health;
+}
+
+double DegradationService::estimated_gap_seconds(std::uint32_t node_id) const {
+  return state_of(node_id).estimated_gap_s;
+}
+
+void DegradationService::checkpoint(std::ostream& out) const {
+  // Line-oriented text, doubles as bit patterns, FNV-1a checksum trailer.
+  std::ostringstream body;
+  body << "blamledger v1 nodes " << ids_.size() << " maxdeg " << hex_double(max_degradation_)
+       << "\n";
+  const LedgerCounters& c = counters_;
+  body << "counters " << c.reports_accepted << ' ' << c.reports_duplicate << ' '
+       << c.reports_checksum_rejected << ' ' << c.reports_buffered << ' '
+       << c.reports_reassembled << ' ' << c.samples_rejected_nonmonotonic << ' '
+       << c.samples_rejected_range << ' ' << c.gaps_bridged << ' ' << c.discontinuities << ' '
+       << c.quarantines << ' ' << c.recoveries << "\n";
+  for (const std::uint32_t id : ids_) {
+    const NodeState& s = nodes_.find(id)->second;
+    body << "node " << id << ' ' << static_cast<int>(s.health) << ' ' << (s.has_report ? 1 : 0)
+         << ' ' << (s.has_data ? 1 : 0) << ' ' << s.last_seq << ' ' << s.suspicion << ' '
+         << s.clean_streak << ' ' << hex_double(s.degradation) << ' ' << hex_double(s.normalized)
+         << ' ' << hex_double(s.estimated_gap_s) << ' ' << s.first_sample_t.us() << ' '
+         << s.last_sample_t.us() << "\n";
+    const DegradationTracker::Snapshot t = s.tracker->snapshot();
+    body << "tracker " << hex_double(t.closed_cycle_sum) << ' ' << t.last_time.us() << ' '
+         << hex_double(t.last_soc) << ' ' << (t.has_sample ? 1 : 0) << ' '
+         << hex_double(t.soc_time_integral) << ' ' << hex_double(t.stress_time_integral) << ' '
+         << t.stress_integrated_to.us() << ' ' << hex_double(t.temperature_c) << ' '
+         << t.discontinuities << "\n";
+    body << "rainflow " << t.rainflow.full_cycles << ' ' << (t.rainflow.has_last ? 1 : 0) << ' '
+         << hex_double(t.rainflow.prev_direction) << ' ' << hex_double(t.rainflow.last) << ' '
+         << t.rainflow.stack.size();
+    for (const double point : t.rainflow.stack) body << ' ' << hex_double(point);
+    body << "\n";
+    body << "held " << s.held.size() << "\n";
+    for (const HeldReport& h : s.held) {
+      body << "heldrep " << h.seq << ' ' << h.samples.size();
+      for (const SocSample& sample : h.samples) {
+        body << ' ' << sample.t.us() << ' ' << hex_double(sample.soc);
+      }
+      body << "\n";
+    }
+  }
+  const std::string payload = body.str();
+  char trailer[32];
+  std::snprintf(trailer, sizeof trailer, "%016" PRIx64, fnv1a(payload));
+  out << payload << "checksum " << trailer << "\n";
+}
+
+void DegradationService::restore(std::istream& in) {
+  const auto fail = [](const std::string& what) {
+    throw std::runtime_error{"ledger checkpoint: " + what};
+  };
+
+  // Collect the payload first so the checksum covers exactly what is parsed.
+  std::string payload;
+  std::string checksum_line;
+  std::string line;
+  bool saw_checksum = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("checksum ", 0) == 0) {
+      checksum_line = line.substr(9);
+      saw_checksum = true;
+      break;
+    }
+    payload += line;
+    payload += '\n';
+  }
+  if (!saw_checksum) fail("missing checksum trailer");
+  char expected[32];
+  std::snprintf(expected, sizeof expected, "%016" PRIx64, fnv1a(payload));
+  if (checksum_line != expected) fail("checksum mismatch (corrupt or truncated)");
+
+  std::istringstream body{payload};
+  std::string tag;
+  std::string word;
+  std::size_t n_nodes = 0;
+  if (!(body >> tag) || tag != "blamledger") fail("bad magic");
+  if (!(body >> word) || word != "v1") fail("unsupported version");
+  if (!(body >> tag >> n_nodes) || tag != "nodes") fail("missing node count");
+  if (!(body >> tag >> word) || tag != "maxdeg") fail("missing maxdeg");
+
+  nodes_.clear();
+  ids_.clear();
+  max_degradation_ = parse_hex_double(word);
+
+  if (!(body >> tag) || tag != "counters") fail("missing counters");
+  LedgerCounters c;
+  if (!(body >> c.reports_accepted >> c.reports_duplicate >> c.reports_checksum_rejected >>
+        c.reports_buffered >> c.reports_reassembled >> c.samples_rejected_nonmonotonic >>
+        c.samples_rejected_range >> c.gaps_bridged >> c.discontinuities >> c.quarantines >>
+        c.recoveries)) {
+    fail("malformed counters");
+  }
+  counters_ = c;
+
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    std::uint32_t id = 0;
+    int health = 0;
+    int has_report = 0;
+    int has_data = 0;
+    std::int64_t first_us = 0;
+    std::int64_t last_us = 0;
+    std::string deg;
+    std::string norm;
+    std::string gap;
+    NodeState fresh;
+    if (!(body >> tag >> id) || tag != "node") fail("missing node record");
+    NodeState& s = obtain(id);
+    if (s.has_report || s.has_data) fail("duplicate node record");
+    if (!(body >> health >> has_report >> has_data >> s.last_seq >> s.suspicion >>
+          s.clean_streak >> deg >> norm >> gap >> first_us >> last_us)) {
+      fail("malformed node record");
+    }
+    if (health < 0 || health > 3) fail("health out of range");
+    s.health = static_cast<LedgerHealth>(health);
+    s.has_report = has_report != 0;
+    s.has_data = has_data != 0;
+    s.degradation = parse_hex_double(deg);
+    s.normalized = parse_hex_double(norm);
+    s.estimated_gap_s = parse_hex_double(gap);
+    s.first_sample_t = Time::from_us(first_us);
+    s.last_sample_t = Time::from_us(last_us);
+
+    DegradationTracker::Snapshot t;
+    std::string closed;
+    std::string last_soc;
+    std::string soc_int;
+    std::string stress_int;
+    std::string temp;
+    std::int64_t last_time_us = 0;
+    std::int64_t stress_to_us = 0;
+    int has_sample = 0;
+    if (!(body >> tag >> closed >> last_time_us >> last_soc >> has_sample >> soc_int >>
+          stress_int >> stress_to_us >> temp >> t.discontinuities) ||
+        tag != "tracker") {
+      fail("malformed tracker record");
+    }
+    t.closed_cycle_sum = parse_hex_double(closed);
+    t.last_time = Time::from_us(last_time_us);
+    t.last_soc = parse_hex_double(last_soc);
+    t.has_sample = has_sample != 0;
+    t.soc_time_integral = parse_hex_double(soc_int);
+    t.stress_time_integral = parse_hex_double(stress_int);
+    t.stress_integrated_to = Time::from_us(stress_to_us);
+    t.temperature_c = parse_hex_double(temp);
+
+    int has_last = 0;
+    std::string direction;
+    std::string last_point;
+    std::size_t depth = 0;
+    if (!(body >> tag >> t.rainflow.full_cycles >> has_last >> direction >> last_point >>
+          depth) ||
+        tag != "rainflow") {
+      fail("malformed rainflow record");
+    }
+    t.rainflow.has_last = has_last != 0;
+    t.rainflow.prev_direction = parse_hex_double(direction);
+    t.rainflow.last = parse_hex_double(last_point);
+    t.rainflow.stack.reserve(depth);
+    for (std::size_t p = 0; p < depth; ++p) {
+      if (!(body >> word)) fail("truncated rainflow stack");
+      t.rainflow.stack.push_back(parse_hex_double(word));
+    }
+    s.tracker->restore(t);
+
+    std::size_t n_held = 0;
+    if (!(body >> tag >> n_held) || tag != "held") fail("malformed held record");
+    for (std::size_t h = 0; h < n_held; ++h) {
+      HeldReport held;
+      std::size_t n_samples = 0;
+      if (!(body >> tag >> held.seq >> n_samples) || tag != "heldrep") {
+        fail("malformed held report");
+      }
+      held.samples.reserve(n_samples);
+      for (std::size_t sm = 0; sm < n_samples; ++sm) {
+        std::int64_t t_us = 0;
+        if (!(body >> t_us >> word)) fail("truncated held report");
+        held.samples.push_back(SocSample{Time::from_us(t_us), parse_hex_double(word)});
+      }
+      s.held.push_back(std::move(held));
+    }
+  }
+  if (body >> tag) fail("trailing data");
 }
 
 }  // namespace blam

@@ -9,9 +9,33 @@
 // node inside its ACKs (1 extra byte). A node that has never reported (or a
 // fresh battery) gets w_u = 0, letting it run Algorithm 1 without ever
 // hearing from the gateway.
+//
+// The feedback pipe is lossy in deployment (and under the fault plan):
+// reports are dropped, duplicated, reordered, truncated and bit-flipped by
+// the very channel faults PR 1 injects. ingest_report() is the hardened
+// entry point: it verifies the report checksum, classifies the report
+// sequence number with serial-number arithmetic (duplicate / in-order /
+// out-of-order / counter reset), buffers bounded out-of-order reports for
+// deterministic reassembly, bridges unfilled gaps with an explicit
+// interpolated-segment policy (the tracker's trapezoid/rainflow bridging,
+// flagged per node as estimated seconds + gapped health rather than
+// silently trusted), and treats a far-off sequence (the node's volatile counter
+// reset at reboot) as an SoC discontinuity that seals the rainflow residual
+// instead of fabricating a phantom cycle. Every node carries a ledger
+// health state machine (healthy → gapped → quarantined → recovered) and a
+// quarantined node gets the conservative prior w_u = 1 while being excluded
+// from D_max, so one garbage-spewing radio cannot dilute everyone else's
+// feedback. checkpoint()/restore() serialize the full ledger so a restarted
+// gateway service resumes from its last recompute instead of resetting the
+// network to w_u = 0.
+//
+// With an intact in-order stream, ingest_report() performs exactly the same
+// tracker.record() calls as the legacy ingest(), so fault-free results are
+// bit-identical to the pre-hardening service.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -30,38 +54,147 @@ struct SocSample {
   double soc;
 };
 
+/// Checksum of a simulator-level SoC report: CRC-8 over the report sequence
+/// number and each sample's canonical byte image (timestamp microseconds +
+/// SoC bit pattern, little-endian). Nodes stamp it into UplinkFrame::
+/// report_crc; ingest_report() recomputes and compares before trusting the
+/// samples. (The wire codec carries its own CRC over the quantized FOpts
+/// bytes; this one protects the exact values the simulator transports.)
+[[nodiscard]] std::uint8_t report_checksum(std::uint16_t report_seq,
+                                           std::span<const SocSample> samples);
+
+/// Per-node ledger health (gateway's view of the feedback pipe).
+enum class LedgerHealth : std::uint8_t {
+  kHealthy = 0,
+  /// At least one report gap was bridged by interpolation; clears on the
+  /// next clean in-order report.
+  kGapped = 1,
+  /// Repeated integrity failures: the ledger stops trusting this node and
+  /// disseminates the conservative prior w_u = 1 until reports come clean.
+  kQuarantined = 2,
+  /// Left quarantine on a clean streak; promoted back to healthy at the
+  /// next recompute.
+  kRecovered = 3,
+};
+
+[[nodiscard]] const char* ledger_health_name(LedgerHealth health);
+
+/// Structured counters over every ingest decision (aggregated across
+/// nodes; all zero on a clean in-order stream).
+struct LedgerCounters {
+  std::uint64_t reports_accepted{0};
+  std::uint64_t reports_duplicate{0};
+  std::uint64_t reports_checksum_rejected{0};
+  /// Out-of-order reports parked in the bounded reassembly buffer.
+  std::uint64_t reports_buffered{0};
+  /// Buffered reports later applied (exact in-order heal or flushed).
+  std::uint64_t reports_reassembled{0};
+  std::uint64_t samples_rejected_nonmonotonic{0};
+  std::uint64_t samples_rejected_range{0};
+  /// Report gaps accepted as lost and bridged by interpolation.
+  std::uint64_t gaps_bridged{0};
+  /// Report-sequence resets treated as node crash/reboot discontinuities.
+  std::uint64_t discontinuities{0};
+  std::uint64_t quarantines{0};
+  std::uint64_t recoveries{0};
+};
+
 class DegradationService {
  public:
+  /// Serial-number window: a report sequence within this forward distance
+  /// of the last applied one is a candidate for reordering; within the same
+  /// backward distance it is a duplicate; anything farther is a counter
+  /// reset (crash/reboot).
+  static constexpr int kSeqWindow = 8;
+  /// Out-of-order reports held per node before the buffer is flushed in
+  /// serial order (missing reports declared lost, their gaps bridged).
+  static constexpr std::size_t kReorderDepth = 4;
+  /// Integrity failures that trip quarantine / clean reports that lift it.
+  static constexpr std::uint32_t kQuarantineThreshold = 3;
+  static constexpr std::uint32_t kRecoveryStreak = 3;
+
   DegradationService(const DegradationModel& model, double temperature_c);
 
   /// Registers a node (idempotent).
   void register_node(std::uint32_t node_id);
 
-  /// Ingests SoC transition points reported by `node_id`. Samples must be
-  /// time-ordered within and across reports (the MAC reports in order).
+  /// Ingests SoC transition points reported by `node_id` WITHOUT the report
+  /// integrity layer (no sequence numbers available — direct trace feeds in
+  /// tests and benches). Samples are still validated: non-finite or
+  /// out-of-range SoC and backwards timestamps are rejected and counted,
+  /// never ingested.
   void ingest(std::uint32_t node_id, std::span<const SocSample> samples);
 
+  /// Hardened ingest of one piggy-backed report: checksum verification,
+  /// sequence classification, dedup, bounded out-of-order reassembly, gap
+  /// bridging and crash-reset detection (see the file comment).
+  void ingest_report(std::uint32_t node_id, std::uint16_t report_seq, std::uint8_t report_crc,
+                     std::span<const SocSample> samples);
+
   /// Recomputes D_u for every node and refreshes w_u = D_u / D_max.
-  /// Call once per dissemination period (daily in the paper).
+  /// Call once per dissemination period (daily in the paper). Flushes every
+  /// node's reassembly buffer first (the dissemination period is the
+  /// deterministic deadline for late reports). D_max excludes quarantined
+  /// nodes, whose w_u is pinned to the conservative prior 1.
   void recompute(Time now);
 
   /// Latest normalized degradation for the node; 0 until the first
-  /// recompute() that saw data from it.
+  /// recompute() that saw data from it; 1 while quarantined.
   [[nodiscard]] double normalized_degradation(std::uint32_t node_id) const;
 
   /// Latest absolute degradation estimate for the node.
   [[nodiscard]] double degradation(std::uint32_t node_id) const;
 
-  /// Maximum degradation across all nodes at the last recompute().
+  /// Maximum degradation across all non-quarantined nodes with data at the
+  /// last recompute().
   [[nodiscard]] double max_degradation() const { return max_degradation_; }
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
+  /// Ascending node ids (canonical recompute order).
+  [[nodiscard]] const std::vector<std::uint32_t>& ids() const { return ids_; }
+
+  [[nodiscard]] LedgerHealth health(std::uint32_t node_id) const;
+
+  /// Seconds of this node's trace bridged by interpolation (the estimated,
+  /// not observed, share of its degradation input).
+  [[nodiscard]] double estimated_gap_seconds(std::uint32_t node_id) const;
+
+  [[nodiscard]] const LedgerCounters& counters() const { return counters_; }
+
+  /// Serializes the complete ledger (trackers, health, reassembly buffers,
+  /// counters, last recompute results) as line-oriented text with bit-exact
+  /// doubles and a trailing integrity checksum.
+  void checkpoint(std::ostream& out) const;
+
+  /// Rebuilds the ledger from a checkpoint() stream, replacing all current
+  /// state. The service must have been constructed with the same model and
+  /// temperature. Throws std::runtime_error on malformed or corrupt input.
+  void restore(std::istream& in);
+
  private:
+  struct HeldReport {
+    std::uint16_t seq{0};
+    std::vector<SocSample> samples;
+  };
+
   struct NodeState {
     std::unique_ptr<DegradationTracker> tracker;
     double degradation{0.0};
     double normalized{0.0};
+    LedgerHealth health{LedgerHealth::kHealthy};
+    /// Integrity pipeline has seen at least one report from this node.
+    bool has_report{false};
+    /// At least one sample was accepted into the tracker.
+    bool has_data{false};
+    std::uint16_t last_seq{0};
+    std::uint32_t suspicion{0};
+    std::uint32_t clean_streak{0};
+    /// Reassembly buffer, sorted by serial distance from last_seq.
+    std::vector<HeldReport> held;
+    double estimated_gap_s{0.0};
+    Time first_sample_t{};
+    Time last_sample_t{};
   };
 
   [[nodiscard]] const NodeState& state_of(std::uint32_t node_id) const;
@@ -69,6 +202,23 @@ class DegradationService {
   /// Finds-or-creates the state for `node_id` with a single hash lookup,
   /// keeping the sorted ids_ index in step.
   NodeState& obtain(std::uint32_t node_id);
+
+  /// Validates and records samples (shared by both ingest paths).
+  void accept_samples(NodeState& state, std::span<const SocSample> samples);
+  /// One verified report: gap accounting + sample acceptance.
+  void apply_report(NodeState& state, std::span<const SocSample> samples, bool bridged_gap);
+  /// Applies buffered reports that now continue the sequence exactly.
+  void drain_held(NodeState& state);
+  /// Gives up waiting: applies ALL buffered reports in serial order,
+  /// bridging the gaps of reports declared lost.
+  void flush_held(NodeState& state);
+  void hold(NodeState& state, std::uint16_t report_seq, std::span<const SocSample> samples);
+  void mark_clean(NodeState& state);
+  void mark_suspect(NodeState& state);
+  /// D_u under the interpolated-segment gap policy (see degradation_of's
+  /// definition: interpolation is the tracker's own bridging, flagged but
+  /// not rescaled).
+  [[nodiscard]] double degradation_of(const NodeState& state, Time now) const;
 
   DegradationModel model_;
   double temperature_c_;
@@ -82,6 +232,7 @@ class DegradationService {
   /// iteration keeps the pass order reproducible by inspection).
   std::vector<std::uint32_t> ids_;
   double max_degradation_{0.0};
+  LedgerCounters counters_;
 };
 
 }  // namespace blam

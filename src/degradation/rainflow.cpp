@@ -56,6 +56,36 @@ void RainflowCounter::collapse() {
   }
 }
 
+void RainflowCounter::seal_residual() {
+  // The residual half cycles become permanent: report them through the
+  // regular callback (they carry weight 0.5, so the receiver's accumulation
+  // formula needs no special case), then forget the turning points. They do
+  // not count as full cycles.
+  for_each_residual(on_cycle_);
+  stack_.clear();
+  has_last_ = false;
+  prev_direction_ = 0.0;
+  last_ = 0.0;
+}
+
+RainflowCounter::State RainflowCounter::state() const {
+  State s;
+  s.stack = stack_;
+  s.last = last_;
+  s.prev_direction = prev_direction_;
+  s.has_last = has_last_;
+  s.full_cycles = full_cycles_;
+  return s;
+}
+
+void RainflowCounter::restore(const State& state) {
+  stack_ = state.stack;
+  last_ = state.last;
+  prev_direction_ = state.prev_direction;
+  has_last_ = state.has_last;
+  full_cycles_ = state.full_cycles;
+}
+
 void RainflowCounter::for_each_residual(const CycleCallback& visit) const {
   // The residual is the stack plus the in-flight sample (a provisional
   // turning point: the trace currently ends there).

@@ -47,11 +47,32 @@ class RainflowCounter {
   /// as a provisional turning point.
   void for_each_residual(const CycleCallback& visit) const;
 
+  /// Permanently folds the current residual into the callback (as half
+  /// cycles) and restarts turning-point detection from scratch. Called on an
+  /// SoC discontinuity (node crash/reboot): the trace before and after the
+  /// break must not be paired into one phantom cycle, but the half cycles
+  /// already observed stay counted so degradation remains monotone.
+  void seal_residual();
+
   /// Number of full cycles closed so far.
   [[nodiscard]] std::size_t full_cycles() const { return full_cycles_; }
 
   /// Current residual stack depth (turning points not yet paired).
   [[nodiscard]] std::size_t residual_depth() const { return stack_.size(); }
+
+  /// Complete streaming state (checkpoint/restore of a gateway ledger).
+  /// The callback is NOT part of the state: restore() keeps the counter's
+  /// own callback and only replaces the trace position.
+  struct State {
+    std::vector<double> stack;
+    double last{0.0};
+    double prev_direction{0.0};
+    bool has_last{false};
+    std::size_t full_cycles{0};
+  };
+
+  [[nodiscard]] State state() const;
+  void restore(const State& state);
 
  private:
   void accept_turning_point(double value);

@@ -44,6 +44,41 @@ void DegradationTracker::record(Time t, double soc) {
   has_sample_ = true;
 }
 
+void DegradationTracker::mark_discontinuity() {
+  if (!has_sample_) return;
+  rainflow_.seal_residual();
+  ++discontinuities_;
+}
+
+DegradationTracker::Snapshot DegradationTracker::snapshot() const {
+  Snapshot s;
+  s.rainflow = rainflow_.state();
+  s.closed_cycle_sum = closed_cycle_sum_;
+  s.last_time = last_time_;
+  s.last_soc = last_soc_;
+  s.has_sample = has_sample_;
+  s.soc_time_integral = soc_time_integral_;
+  s.stress_time_integral = stress_time_integral_;
+  s.stress_integrated_to = stress_integrated_to_;
+  s.temperature_c = temperature_c_;
+  s.discontinuities = discontinuities_;
+  return s;
+}
+
+void DegradationTracker::restore(const Snapshot& snapshot) {
+  rainflow_.restore(snapshot.rainflow);
+  closed_cycle_sum_ = snapshot.closed_cycle_sum;
+  last_time_ = snapshot.last_time;
+  last_soc_ = snapshot.last_soc;
+  has_sample_ = snapshot.has_sample;
+  soc_time_integral_ = snapshot.soc_time_integral;
+  stress_time_integral_ = snapshot.stress_time_integral;
+  stress_integrated_to_ = snapshot.stress_integrated_to;
+  temperature_c_ = snapshot.temperature_c;
+  temp_stress_ = model_->temperature_stress(snapshot.temperature_c);
+  discontinuities_ = snapshot.discontinuities;
+}
+
 double DegradationTracker::mean_soc() const {
   if (!has_sample_) return 0.0;
   const double elapsed = last_time_.seconds();

@@ -19,6 +19,8 @@
 // cycles closing later use the stress in effect at close time.
 #pragma once
 
+#include <cstdint>
+
 #include "common/units.hpp"
 #include "degradation/model.hpp"
 #include "degradation/rainflow.hpp"
@@ -36,6 +38,16 @@ class DegradationTracker {
 
   /// Appends an SoC sample; `t` must be non-decreasing.
   void record(Time t, double soc);
+
+  /// Declares an SoC discontinuity (node crash/reboot, detected gateway-side
+  /// by a report-sequence reset): the rainflow residual is sealed so the
+  /// trace before and after the break cannot pair into one phantom cycle.
+  /// The trapezoidal SoC-time integral still bridges the break on the next
+  /// record() — calendar aging over the gap is interpolated, not dropped.
+  void mark_discontinuity();
+
+  /// Discontinuities declared so far (observability).
+  [[nodiscard]] std::uint64_t discontinuities() const { return discontinuities_; }
 
   /// Updates the battery temperature effective at time `t` (must be
   /// non-decreasing versus prior records/updates): the stress-time integral
@@ -61,6 +73,25 @@ class DegradationTracker {
   [[nodiscard]] const DegradationModel& model() const { return *model_; }
   [[nodiscard]] double temperature_c() const { return temperature_c_; }
 
+  /// Complete tracker state for gateway-ledger checkpoint/restore. The
+  /// model pointer is NOT captured: restore() requires a tracker built
+  /// against the same model/temperature configuration.
+  struct Snapshot {
+    RainflowCounter::State rainflow;
+    double closed_cycle_sum{0.0};
+    Time last_time{};
+    double last_soc{0.0};
+    bool has_sample{false};
+    double soc_time_integral{0.0};
+    double stress_time_integral{0.0};
+    Time stress_integrated_to{};
+    double temperature_c{0.0};
+    std::uint64_t discontinuities{0};
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& snapshot);
+
  private:
   /// Extends the stress-time integral to `t` at the current temperature.
   void advance_stress_integral(Time t);
@@ -75,6 +106,7 @@ class DegradationTracker {
   Time last_time_{Time::zero()};
   double last_soc_{0.0};
   bool has_sample_{false};
+  std::uint64_t discontinuities_{0};
   double soc_time_integral_{0.0};     // integral of SoC dt (seconds)
   double stress_time_integral_{0.0};  // integral of S_T dt (seconds)
   Time stress_integrated_to_{Time::zero()};

@@ -12,6 +12,7 @@ namespace {
 constexpr std::uint64_t kOutageSalt = 0x007a6e;
 constexpr std::uint64_t kAckChannelSalt = 0xacc0;
 constexpr std::uint64_t kCrashSalt = 0xc4a5;
+constexpr std::uint64_t kReportSalt = 0x5eb0;
 
 }  // namespace
 
@@ -29,8 +30,14 @@ bool FaultPlanConfig::drought_enabled() const {
   return drought_duration > Time::zero() && drought_scale != 1.0;
 }
 
+bool FaultPlanConfig::reports_enabled() const {
+  return report_loss > 0.0 || report_dup > 0.0 || report_reorder > 0.0 || report_corrupt > 0.0 ||
+         report_truncate > 0.0;
+}
+
 bool FaultPlanConfig::any() const {
-  return outages_enabled() || ack_loss_enabled() || crashes_enabled() || drought_enabled();
+  return outages_enabled() || ack_loss_enabled() || crashes_enabled() || drought_enabled() ||
+         reports_enabled();
 }
 
 void FaultPlanConfig::validate() const {
@@ -64,6 +71,19 @@ void FaultPlanConfig::validate() const {
   }
   if (drought_scale < 0.0 || drought_scale > 1.0) {
     throw std::invalid_argument{"FaultPlanConfig: drought_scale in [0,1]"};
+  }
+  const double report_probs[] = {report_loss, report_dup, report_reorder, report_corrupt,
+                                 report_truncate};
+  double report_sum = 0.0;
+  for (const double p : report_probs) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument{"FaultPlanConfig: report fault probabilities in [0,1]"};
+    }
+    report_sum += p;
+  }
+  if (report_sum > 1.0) {
+    throw std::invalid_argument{
+        "FaultPlanConfig: report fault probabilities must sum to at most 1"};
   }
 }
 
@@ -189,6 +209,10 @@ bool FaultPlan::downlink_lost(int gateway_id, Time t) {
 
 Rng FaultPlan::crash_stream(std::uint32_t node_id) const {
   return base_.fork(kCrashSalt + (static_cast<std::uint64_t>(node_id) << 16));
+}
+
+Rng FaultPlan::report_stream(std::uint32_t node_id) const {
+  return base_.fork(kReportSalt + (static_cast<std::uint64_t>(node_id) << 16));
 }
 
 double FaultPlan::drought_scale_at(Time t) const {

@@ -58,6 +58,19 @@ struct FaultPlanConfig {
   double crash_per_year{0.0};
   Time reboot_duration{Time::from_minutes(10.0)};
 
+  // --- (e) SoC-report channel faults -------------------------------------
+  /// Per-report probabilities of the feedback-pipe faults applied to each
+  /// piggy-backed SoC report between PHY delivery and ledger ingestion:
+  /// drop, duplicate delivery, reorder (swapped with the node's next
+  /// report), single-bit corruption and sample truncation. Mutually
+  /// exclusive per report (at most one fault fires); their sum must be
+  /// <= 1. All zero disables the channel (no streams forked, no draws).
+  double report_loss{0.0};
+  double report_dup{0.0};
+  double report_reorder{0.0};
+  double report_corrupt{0.0};
+  double report_truncate{0.0};
+
   // --- (d) solar harvest drought -----------------------------------------
   /// Harvested energy is multiplied by drought_scale inside
   /// [drought_start, drought_start + drought_duration). Zero duration or a
@@ -73,6 +86,7 @@ struct FaultPlanConfig {
   [[nodiscard]] bool ack_loss_enabled() const;
   [[nodiscard]] bool crashes_enabled() const;
   [[nodiscard]] bool drought_enabled() const;
+  [[nodiscard]] bool reports_enabled() const;
 
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;
@@ -105,6 +119,11 @@ class FaultPlan {
   // --- node crashes ---------------------------------------------------------
   /// Independent per-node stream for crash inter-arrival draws.
   [[nodiscard]] Rng crash_stream(std::uint32_t node_id) const;
+
+  // --- SoC-report channel -----------------------------------------------
+  /// Independent per-node stream for report-fault draws (consumed by the
+  /// ReportFaultChannel lane for that node).
+  [[nodiscard]] Rng report_stream(std::uint32_t node_id) const;
 
   // --- harvest drought ------------------------------------------------------
   /// Instantaneous harvest scale factor at `t` (1 outside the drought).

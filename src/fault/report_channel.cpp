@@ -1,0 +1,113 @@
+#include "fault/report_channel.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace blam {
+
+ReportFaultChannel::Lane& ReportFaultChannel::lane(std::uint32_t node_id) {
+  auto it = lanes_.find(node_id);
+  if (it == lanes_.end()) {
+    // The lane's stream depends only on the node id, so traffic order cannot
+    // change which faults a node's reports experience.
+    it = lanes_.emplace(node_id, Lane{plan_->report_stream(node_id), false, 0, 0, {}}).first;
+  }
+  return it->second;
+}
+
+void ReportFaultChannel::deliver(std::uint32_t node_id, std::uint16_t report_seq,
+                                 std::uint8_t report_crc, std::span<const SocSample> samples,
+                                 const Sink& sink) {
+  if (!plan_->config().reports_enabled()) {
+    ++counters_.delivered;
+    sink(node_id, report_seq, report_crc, samples);
+    return;
+  }
+  const FaultPlanConfig& cfg = plan_->config();
+  Lane& ln = lane(node_id);
+  // One draw per report, cumulative thresholds: at most one fault fires.
+  const double draw = ln.rng.uniform();
+  double threshold = cfg.report_loss;
+  bool held_this_report = false;
+
+  if (draw < threshold) {
+    ++counters_.dropped;
+  } else if (draw < (threshold += cfg.report_dup)) {
+    ++counters_.duplicated;
+    ++counters_.delivered;
+    sink(node_id, report_seq, report_crc, samples);
+    sink(node_id, report_seq, report_crc, samples);
+  } else if (draw < (threshold += cfg.report_reorder)) {
+    if (ln.holding) {
+      // Slot occupied: the report passes through unswapped (the held one is
+      // released below, which still realizes the earlier reorder).
+      ++counters_.delivered;
+      sink(node_id, report_seq, report_crc, samples);
+    } else {
+      ++counters_.reordered;
+      ln.holding = true;
+      ln.held_seq = report_seq;
+      ln.held_crc = report_crc;
+      ln.held_samples.assign(samples.begin(), samples.end());
+      held_this_report = true;
+    }
+  } else if (draw < (threshold += cfg.report_corrupt)) {
+    ++counters_.corrupted;
+    ++counters_.delivered;
+    // Flip one bit somewhere in the report image — a sample's SoC bit
+    // pattern, a timestamp, or the sequence number — and keep the stale CRC:
+    // exactly what a bit error between radio and ledger looks like. (A real
+    // CRC-8 misses ~1/256 of multi-bit bursts; a single flipped bit is
+    // always caught, so the detection the bench measures is the guaranteed
+    // case.)
+    std::uint16_t seq = report_seq;
+    std::vector<SocSample> mutated{samples.begin(), samples.end()};
+    const std::int64_t fields = static_cast<std::int64_t>(2 * mutated.size());
+    const std::int64_t field = ln.rng.uniform_int(0, fields);  // `fields` = the seq itself
+    if (field == fields || mutated.empty()) {
+      seq ^= static_cast<std::uint16_t>(1u << ln.rng.uniform_int(0, 15));
+    } else if (field % 2 == 0) {
+      SocSample& victim = mutated[static_cast<std::size_t>(field / 2)];
+      victim.soc = std::bit_cast<double>(std::bit_cast<std::uint64_t>(victim.soc) ^
+                                         (1ull << ln.rng.uniform_int(0, 63)));
+    } else {
+      SocSample& victim = mutated[static_cast<std::size_t>(field / 2)];
+      victim.t = Time::from_us(victim.t.us() ^
+                               static_cast<std::int64_t>(1ull << ln.rng.uniform_int(0, 62)));
+    }
+    sink(node_id, seq, report_crc, mutated);
+  } else if (draw < threshold + cfg.report_truncate) {
+    ++counters_.truncated;
+    ++counters_.delivered;
+    // Lose the trailing sample, keep the CRC computed over the full report:
+    // the ledger's checksum check rejects it.
+    std::vector<SocSample> shortened{samples.begin(), samples.end()};
+    if (!shortened.empty()) shortened.pop_back();
+    sink(node_id, report_seq, report_crc, shortened);
+  } else {
+    ++counters_.delivered;
+    sink(node_id, report_seq, report_crc, samples);
+  }
+
+  if (ln.holding && !held_this_report) {
+    // Release the held report AFTER the current one: B then A on the wire.
+    ln.holding = false;
+    const std::vector<SocSample> late = std::move(ln.held_samples);
+    ln.held_samples.clear();
+    ++counters_.delivered;
+    sink(node_id, ln.held_seq, ln.held_crc, late);
+  }
+}
+
+void ReportFaultChannel::flush(const Sink& sink) {
+  for (auto& [node_id, ln] : lanes_) {
+    if (!ln.holding) continue;
+    ln.holding = false;
+    const std::vector<SocSample> late = std::move(ln.held_samples);
+    ln.held_samples.clear();
+    ++counters_.delivered;
+    sink(node_id, ln.held_seq, ln.held_crc, late);
+  }
+}
+
+}  // namespace blam

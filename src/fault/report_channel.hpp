@@ -1,0 +1,77 @@
+// Deterministic fault channel for piggy-backed SoC reports.
+//
+// Sits between PHY delivery and ledger ingestion on the gateway: every
+// report that survives the radio passes through deliver(), which draws one
+// uniform from the node's dedicated fault stream and either forwards the
+// report intact or applies exactly one fault — drop, duplicate, reorder
+// (held one slot and released after the node's next report), single-bit
+// corruption of a sample or the sequence number (the stale CRC travels
+// along, so the ledger's checksum check is what must catch it), or sample
+// truncation. Streams are forked per node off the FaultPlan's report salt,
+// so report faults never perturb any other fault source, and a plan with
+// reports_enabled() false never constructs lanes or consumes draws —
+// fault-free runs stay bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/degradation_service.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace blam {
+
+/// What the channel did to the reports it carried (observability; feeds
+/// GatewayMetrics).
+struct ReportChannelCounters {
+  std::uint64_t delivered{0};
+  std::uint64_t dropped{0};
+  std::uint64_t duplicated{0};
+  std::uint64_t reordered{0};
+  std::uint64_t corrupted{0};
+  std::uint64_t truncated{0};
+};
+
+class ReportFaultChannel {
+ public:
+  /// Receives each report the channel releases (possibly mutated); the
+  /// network server points this at DegradationService::ingest_report.
+  using Sink = std::function<void(std::uint32_t node_id, std::uint16_t report_seq,
+                                  std::uint8_t report_crc, std::span<const SocSample> samples)>;
+
+  explicit ReportFaultChannel(const FaultPlan& plan) : plan_{&plan} {}
+
+  /// Carries one report across the faulty channel, invoking `sink` zero, one
+  /// or two times depending on the fault drawn.
+  void deliver(std::uint32_t node_id, std::uint16_t report_seq, std::uint8_t report_crc,
+               std::span<const SocSample> samples, const Sink& sink);
+
+  /// Releases any report still held for reordering (end of run); without
+  /// this a held report would be silently lost rather than late.
+  void flush(const Sink& sink);
+
+  [[nodiscard]] const ReportChannelCounters& counters() const { return counters_; }
+
+ private:
+  struct Lane {
+    Rng rng;
+    /// One-slot reorder buffer: the held report is released after the next
+    /// report from the same node goes through (B then A).
+    bool holding{false};
+    std::uint16_t held_seq{0};
+    std::uint8_t held_crc{0};
+    std::vector<SocSample> held_samples;
+  };
+
+  Lane& lane(std::uint32_t node_id);
+
+  const FaultPlan* plan_;
+  // Ordered map: flush() iterates it, and flush order must not depend on
+  // hash layout.
+  std::map<std::uint32_t, Lane> lanes_;
+  ReportChannelCounters counters_;
+};
+
+}  // namespace blam

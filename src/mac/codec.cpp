@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/checksum.hpp"
+
 namespace blam {
 
 namespace {
@@ -77,26 +79,33 @@ std::vector<std::uint8_t> encode_uplink(const UplinkFrame& frame) {
   }
 
   std::vector<std::uint8_t> out;
-  out.reserve(kUplinkHeaderBytes + 4 * frame.soc_report.size() +
+  out.reserve(kUplinkHeaderBytes + 4 * frame.soc_report.size() + kReportTrailerBytes +
               static_cast<std::size_t>(frame.app_payload_bytes));
 
   out.push_back(frame.confirmed ? kMhdrConfirmedUp : kMhdrUnconfirmedUp);
   put_u32(out, frame.node_id);
   // FCtrl: FOptsLen in the low nibble (standard); the transmission attempt
   // rides in bits 5-7 (a simulator-specific use of the RFU bits).
-  const auto fopts_len = static_cast<std::uint8_t>(2 * frame.soc_report.size());
+  const auto fopts_len = static_cast<std::uint8_t>(
+      frame.soc_report.empty() ? 0 : 2 * frame.soc_report.size() + kReportTrailerBytes);
   out.push_back(static_cast<std::uint8_t>(fopts_len | (frame.attempt << 5)));
   put_u16(out, static_cast<std::uint16_t>(frame.seq & 0xffff));
 
   // FOpts: SoC transition points as (minutes-before-newest u8, SoC Q8) —
-  // 2 bytes per sample, 4 bytes for the paper's two-point report.
+  // 2 bytes per sample, 4 bytes for the paper's two-point report — then the
+  // integrity trailer (report seq u16 + CRC-8 over samples and seq).
   const Time newest =
       frame.soc_report.empty() ? Time::zero() : frame.soc_report.back().t;
+  const std::size_t fopts_start = out.size();
   for (const SocSample& sample : frame.soc_report) {
     const double minutes_before = (newest - sample.t).minutes();
     out.push_back(static_cast<std::uint8_t>(
         std::min(255.0, std::max(0.0, std::round(minutes_before)))));
     out.push_back(q8(sample.soc));
+  }
+  if (!frame.soc_report.empty()) {
+    put_u16(out, frame.report_seq);
+    out.push_back(crc8({out.data() + fopts_start, out.size() - fopts_start}));
   }
 
   out.push_back(1);  // FPort
@@ -125,13 +134,31 @@ UplinkFrame decode_uplink(std::span<const std::uint8_t> bytes, Time reference) {
   frame.attempt = (fctrl >> 5) & 0x07;
   frame.seq = reader.u16();
 
-  if (fopts_len % 2 != 0 || fopts_len > 4) {
+  // Valid FOpts: empty, or 2 bytes per sample (1-2 samples) + the 3-byte
+  // integrity trailer.
+  if (fopts_len != 0 && fopts_len != 2 + kReportTrailerBytes &&
+      fopts_len != 4 + kReportTrailerBytes) {
     throw std::invalid_argument{"decode_uplink: malformed FOpts length"};
   }
-  for (std::size_t i = 0; i < fopts_len / 2; ++i) {
-    const std::uint8_t minutes_before = reader.u8();
-    const double soc = from_q8(reader.u8());
-    frame.soc_report.push_back(SocSample{reference - Time::from_minutes(minutes_before), soc});
+  if (fopts_len != 0) {
+    const std::size_t n_samples = (fopts_len - kReportTrailerBytes) / 2;
+    std::uint8_t fopts_bytes[4 + 2];
+    std::size_t n_fed = 0;
+    for (std::size_t i = 0; i < n_samples; ++i) {
+      const std::uint8_t minutes_before = reader.u8();
+      const std::uint8_t soc_q8 = reader.u8();
+      fopts_bytes[n_fed++] = minutes_before;
+      fopts_bytes[n_fed++] = soc_q8;
+      frame.soc_report.push_back(
+          SocSample{reference - Time::from_minutes(minutes_before), from_q8(soc_q8)});
+    }
+    frame.report_seq = reader.u16();
+    fopts_bytes[n_fed++] = static_cast<std::uint8_t>(frame.report_seq & 0xff);
+    fopts_bytes[n_fed++] = static_cast<std::uint8_t>(frame.report_seq >> 8);
+    frame.report_crc = reader.u8();
+    if (crc8({fopts_bytes, n_fed}) != frame.report_crc) {
+      throw std::invalid_argument{"decode_uplink: SoC report failed its CRC"};
+    }
   }
 
   if (reader.u8() != 1) throw std::invalid_argument{"decode_uplink: unexpected FPort"};

@@ -5,10 +5,15 @@
 // byte-level claims: +4 bytes of SoC transition report per uplink, +1 byte
 // of normalized degradation per ACK. This codec pins those claims down:
 //
-//   uplink:   MHDR(1) DevAddr(4) FCtrl(1) FCnt(2) FOpts(0|2|4) FPort(1)
+//   uplink:   MHDR(1) DevAddr(4) FCtrl(1) FCnt(2) FOpts(0|5|7) FPort(1)
 //             app payload(N) [MIC(4) omitted in simulation]
 //   FOpts:    per SoC sample: minute offset u8 + SoC in Q8 u8 — 2 bytes a
-//             sample, 4 bytes for the paper's two-point report
+//             sample, 4 bytes for the paper's two-point report — followed,
+//             whenever a report is present, by a 3-byte integrity trailer:
+//             report sequence u16 LE + CRC-8 over the preceding FOpts
+//             report bytes and the sequence. The trailer lets a real
+//             gateway detect lost, duplicated, reordered or bit-corrupted
+//             reports; decode_uplink() rejects a bad CRC.
 //   downlink: MHDR(1) DevAddr(4) FCtrl(1, ACK bit) FCnt(2)
 //             [w_u Q8 (1)] [LinkADR sf|power (1) + channel mask (2) +
 //             redundancy (1)] [theta Q8 (1)]
@@ -47,5 +52,8 @@ namespace blam {
 inline constexpr std::size_t kUplinkHeaderBytes = 1 + 4 + 1 + 2 + 1;
 /// Fixed header bytes of the downlink format.
 inline constexpr std::size_t kAckHeaderBytes = 1 + 4 + 1 + 2;
+/// Integrity trailer appended to FOpts when a SoC report is present:
+/// report sequence number (u16) + CRC-8.
+inline constexpr std::size_t kReportTrailerBytes = 2 + 1;
 
 }  // namespace blam

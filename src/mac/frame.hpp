@@ -27,10 +27,23 @@ struct UplinkFrame {
   /// SoC transition points since the last report (BLAM only; paper models
   /// this as exactly two points = 4 bytes).
   std::vector<SocSample> soc_report;
+  /// Per-node SoC-report generation counter (serial-number arithmetic,
+  /// wraps). One generation per packet that carries a report;
+  /// retransmissions reuse it (their refreshed trailing sample travels
+  /// under a refreshed CRC). Resets to zero on a node crash (it lives in
+  /// MCU RAM), which is exactly how the gateway detects the reboot. Zero
+  /// when no report is attached.
+  std::uint16_t report_seq{0};
+  /// CRC-8 over the report (sequence number + samples); lets the gateway
+  /// reject bit-corrupted reports instead of ingesting garbage.
+  std::uint8_t report_crc{0};
   bool confirmed{true};
 
   /// PHY payload size: application bytes plus 2 bytes per reported SoC
-  /// transition point (paper Sec. III-B: 2x2 bytes for t and psi).
+  /// transition point (paper Sec. III-B: 2x2 bytes for t and psi). The
+  /// integrity trailer is deliberately excluded: the paper's airtime/energy
+  /// model predates it, and charging it here would shift every committed
+  /// figure. Its true 3-byte wire cost is pinned by the codec tests.
   [[nodiscard]] int total_bytes() const {
     return app_payload_bytes + 2 * static_cast<int>(soc_report.size());
   }

@@ -48,6 +48,7 @@ NetworkSummary Metrics::summarize() const {
     w_age.merge(n.w_age_s);
   }
   s.total_outage_s = total_outage_s_;
+  s.feedback = feedback_;
   s.mean_recovery_s = recovery.mean();
   s.max_recovery_s = recovery.max();
   s.mean_w_age_s = w_age.mean();

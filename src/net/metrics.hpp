@@ -9,6 +9,7 @@
 
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "core/degradation_service.hpp"
 
 namespace blam {
 
@@ -104,6 +105,15 @@ struct GatewayMetrics {
   /// w_u recomputes skipped because the backhaul was down at the
   /// dissemination instant.
   std::uint64_t recomputes_skipped{0};
+
+  // SoC-report fault channel observability (all zero without report
+  // faults); what the channel DID, as opposed to the LedgerCounters'
+  // record of what the ledger detected.
+  std::uint64_t reports_dropped_fault{0};
+  std::uint64_t reports_duplicated_fault{0};
+  std::uint64_t reports_reordered_fault{0};
+  std::uint64_t reports_corrupted_fault{0};
+  std::uint64_t reports_truncated_fault{0};
 };
 
 /// Aggregated view over all nodes, used to print figure rows.
@@ -131,6 +141,9 @@ struct NetworkSummary {
   double max_recovery_s{0.0};
   double mean_w_age_s{0.0};
   double max_w_age_s{0.0};
+
+  /// Gateway feedback-ledger ingest decisions (all zero on a clean run).
+  LedgerCounters feedback{};
 };
 
 class Metrics {
@@ -149,6 +162,10 @@ class Metrics {
   /// set by Network::finalize_metrics when a FaultPlan is active.
   void set_total_outage(Time total) { total_outage_s_ = total.seconds(); }
 
+  /// Snapshot of the gateway ledger's ingest counters (copied into the
+  /// summary); set by Network::finalize_metrics.
+  void set_feedback(const LedgerCounters& counters) { feedback_ = counters; }
+
   /// Histogram over majority-selected forecast windows (paper Fig. 4):
   /// result[w] = number of nodes whose majority window is w.
   [[nodiscard]] std::vector<int> majority_window_histogram(int n_windows) const;
@@ -157,6 +174,7 @@ class Metrics {
   std::vector<NodeMetrics> nodes_;
   GatewayMetrics gateway_;
   double total_outage_s_{0.0};
+  LedgerCounters feedback_;
 };
 
 }  // namespace blam

@@ -202,6 +202,13 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
     if (faults_ != nullptr) nodes_.back()->attach_fault_plan(faults_.get());
     nodes_.back()->start();
   }
+
+  // Feedback-consistency audit needs the nodes' ground-truth trackers;
+  // node ids are the dense vector indices, so the probe is a direct lookup.
+  if (audit_ != nullptr) {
+    server_->set_truth_probe(
+        [this](std::uint32_t id, Time at) { return nodes_[id]->degradation_now(at); });
+  }
 }
 
 void Network::run_until(Time until) { sim_.run_until(until); }
@@ -218,6 +225,18 @@ void Network::finalize_metrics() {
   for (const auto& node : nodes_) node->finalize_metrics(sim_.now());
   if (faults_ != nullptr) {
     metrics_.set_total_outage(faults_->outage_seconds_until(sim_.now()));
+  }
+  // Release any report the fault channel still holds, then snapshot the
+  // ledger's ingest decisions and the channel's fault tally.
+  server_->flush_report_channel();
+  metrics_.set_feedback(server_->service().counters());
+  if (const ReportChannelCounters* rc = server_->report_channel_counters()) {
+    GatewayMetrics& gw = metrics_.gateway();
+    gw.reports_dropped_fault = rc->dropped;
+    gw.reports_duplicated_fault = rc->duplicated;
+    gw.reports_reordered_fault = rc->reordered;
+    gw.reports_corrupted_fault = rc->corrupted;
+    gw.reports_truncated_fault = rc->truncated;
   }
 }
 

@@ -35,6 +35,21 @@ std::optional<AdrCommand> NetworkServer::adr_advice(std::uint32_t node_id,
 
 void NetworkServer::register_node(std::uint32_t node_id) { service_.register_node(node_id); }
 
+void NetworkServer::attach_fault_plan(const FaultPlan* faults) {
+  faults_ = faults;
+  if (faults != nullptr && faults->config().reports_enabled()) {
+    report_faults_.emplace(*faults);
+    ingest_sink_ = [this](std::uint32_t node_id, std::uint16_t report_seq,
+                          std::uint8_t report_crc, std::span<const SocSample> samples) {
+      service_.ingest_report(node_id, report_seq, report_crc, samples);
+    };
+  }
+}
+
+void NetworkServer::flush_report_channel() {
+  if (report_faults_.has_value()) report_faults_->flush(ingest_sink_);
+}
+
 std::uint32_t NetworkServer::acquire_pending_slot() {
   if (!pending_free_.empty()) {
     const std::uint32_t slot = pending_free_.back();
@@ -139,7 +154,13 @@ bool NetworkServer::on_uplink(const UplinkFrame& frame) {
                           prev_seen);
   }
   if (!frame.soc_report.empty()) {
-    service_.ingest(frame.node_id, frame.soc_report);
+    if (report_faults_.has_value()) {
+      report_faults_->deliver(frame.node_id, frame.report_seq, frame.report_crc,
+                              frame.soc_report, ingest_sink_);
+    } else {
+      service_.ingest_report(frame.node_id, frame.report_seq, frame.report_crc,
+                             frame.soc_report);
+    }
   }
   return true;
 }
@@ -159,6 +180,16 @@ void NetworkServer::recompute() {
   }
   service_.recompute(sim_.now());
   ++recomputes_;
+  if (audit_ != nullptr && truth_probe_ && faults_ == nullptr) {
+    // Feedback-consistency audit (level 1+, observe-only): on a fault-free
+    // run the ledger's per-node estimate must stay close to the node's own
+    // tracker. With any fault plan active, divergence is injected behavior,
+    // not a bug — the check stays off.
+    const Time now = sim_.now();
+    for (const std::uint32_t id : service_.ids()) {
+      audit_->on_feedback_ledger(id, now, service_.degradation(id), truth_probe_(id, now));
+    }
+  }
 }
 
 }  // namespace blam

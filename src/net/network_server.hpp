@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -17,6 +18,7 @@
 #include "common/units.hpp"
 #include "core/degradation_service.hpp"
 #include "core/theta_controller.hpp"
+#include "fault/report_channel.hpp"
 #include "lora/interference.hpp"
 #include "mac/adr.hpp"
 #include "mac/frame.hpp"
@@ -26,7 +28,6 @@
 namespace blam {
 
 class Auditor;
-class FaultPlan;
 class Gateway;
 class Node;
 
@@ -45,8 +46,17 @@ class NetworkServer {
   void attach_metrics(Metrics& metrics) { metrics_ = &metrics; }
 
   /// Attaches the fault plan: w_u recomputes are skipped while the backhaul
-  /// is in an outage window (the dissemination never reaches the gateway).
-  void attach_fault_plan(const FaultPlan* faults) { faults_ = faults; }
+  /// is in an outage window (the dissemination never reaches the gateway),
+  /// and with report faults enabled every piggy-backed SoC report is routed
+  /// through a ReportFaultChannel before reaching the ledger.
+  void attach_fault_plan(const FaultPlan* faults);
+
+  /// Ground-truth probe for the feedback-consistency audit: returns the
+  /// node's own tracker degradation at `at`. Checked at each recompute, and
+  /// only on fault-free runs (under injected report faults the ledger is
+  /// EXPECTED to diverge).
+  using TruthProbe = std::function<double(std::uint32_t node_id, Time at)>;
+  void set_truth_probe(TruthProbe probe) { truth_probe_ = std::move(probe); }
 
   /// Attaches the invariant auditor (nullptr = disabled): every accepted
   /// uplink is checked for strict per-node sequence monotonicity.
@@ -83,6 +93,15 @@ class NetworkServer {
   [[nodiscard]] const DegradationService& service() const { return service_; }
   [[nodiscard]] DegradationService& service() { return service_; }
 
+  /// Releases any report the fault channel still holds for reordering into
+  /// the ledger (call once at end of run, before reading final metrics).
+  void flush_report_channel();
+
+  /// What the report fault channel did; nullptr when report faults are off.
+  [[nodiscard]] const ReportChannelCounters* report_channel_counters() const {
+    return report_faults_.has_value() ? &report_faults_->counters() : nullptr;
+  }
+
  private:
   /// Copies of one uplink collected across gateways for 1 ms. Instances
   /// live in a recycled slot pool: the decide() callback captures only
@@ -116,6 +135,14 @@ class NetworkServer {
   Metrics* metrics_{nullptr};
   const FaultPlan* faults_{nullptr};
   Auditor* audit_{nullptr};
+  /// Fault channel between PHY and ledger (engaged only when the plan has
+  /// report faults; absent otherwise so fault-free runs take the direct
+  /// ingest path with zero extra draws).
+  std::optional<ReportFaultChannel> report_faults_;
+  /// Reused sink closure: deliver() may fan one report out to several
+  /// ingest_report calls (duplication, reorder release).
+  ReportFaultChannel::Sink ingest_sink_;
+  TruthProbe truth_probe_;
   /// Highest seq delivered per node, indexed by node id (-1 = none yet).
   /// Node ids are dense in every scenario, so a flat vector replaces the
   /// hash lookup that sat on the per-delivery path.

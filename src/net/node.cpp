@@ -100,6 +100,8 @@ void Node::on_crash() {
   last_w_update_ = now;  // the staleness clock restarts at reboot
   consecutive_ackless_ = 0;
   has_samples_ = false;
+  report_seq_ = 0;  // volatile counter: its reset is the gateway's reboot signal
+  last_report_packet_ = 0;
   rebooting_until_ = now + faults_->config().reboot_duration;
   schedule_next_crash();
 }
@@ -320,6 +322,19 @@ const UplinkFrame& Node::build_frame() {
   if (policy_->reports_soc() && has_samples_) {
     frame.soc_report.push_back(period_start_sample_);
     if (latest_sample_.t > period_start_sample_.t) frame.soc_report.push_back(latest_sample_);
+    // One report generation per packet: retransmissions reuse the sequence
+    // (their refreshed trailing sample is covered by a refreshed CRC), so
+    // the gateway's packet-level dedup and the ledger's report-level dedup
+    // agree on what counts as "the same report".
+    if (pending_.seq != last_report_packet_) {
+      ++report_seq_;
+      last_report_packet_ = pending_.seq;
+    }
+    frame.report_seq = report_seq_;
+    frame.report_crc = report_checksum(frame.report_seq, frame.soc_report);
+  } else {
+    frame.report_seq = 0;
+    frame.report_crc = 0;
   }
   return frame;
 }

@@ -218,6 +218,13 @@ class Node {
   Time rebooting_until_{Time::zero()};
   std::optional<Rng> crash_rng_;
   std::uint32_t next_seq_{1};
+  /// SoC-report generation counter (volatile MCU state: resets on crash,
+  /// which is how the gateway ledger detects the reboot). Incremented once
+  /// per packet that carries a report; retransmissions of the same packet
+  /// reuse the generation.
+  std::uint16_t report_seq_{0};
+  /// Packet seq the current report generation was stamped for.
+  std::uint32_t last_report_packet_{0};
   Energy single_attempt_energy_{};  // one TX + RX windows; EWMA warm-up value
   Energy max_packet_energy_{};      // DIF normalizer: full retransmission budget
   Energy listen_energy_{};          // both class-A RX windows (constant per run)

@@ -151,6 +151,15 @@ ScenarioConfig scenario_from_config(const ConfigFile& file) {
   c.faults.drought_duration =
       Time::from_days(file.get_double("fault_drought_duration_days", c.faults.drought_duration.days()));
   c.faults.drought_scale = file.get_double("fault_drought_scale", c.faults.drought_scale);
+  c.faults.report_loss =
+      file.get_non_negative_double("fault_report_loss", c.faults.report_loss);
+  c.faults.report_dup = file.get_non_negative_double("fault_report_dup", c.faults.report_dup);
+  c.faults.report_reorder =
+      file.get_non_negative_double("fault_report_reorder", c.faults.report_reorder);
+  c.faults.report_corrupt =
+      file.get_non_negative_double("fault_report_corrupt", c.faults.report_corrupt);
+  c.faults.report_truncate =
+      file.get_non_negative_double("fault_report_truncate", c.faults.report_truncate);
   c.stale_feedback_k = file.get_non_negative_double("stale_feedback_k", c.stale_feedback_k);
   c.ack_failure_backoff = file.get_bool("ack_failure_backoff", c.ack_failure_backoff);
 
@@ -217,6 +226,11 @@ std::string describe_scenario(const ScenarioConfig& c) {
       out << "drought x" << c.faults.drought_scale << " for "
           << c.faults.drought_duration.days() << " d @ day " << c.faults.drought_start.days()
           << "; ";
+    }
+    if (c.faults.reports_enabled()) {
+      out << "report faults loss/dup/reorder/corrupt/truncate " << c.faults.report_loss << "/"
+          << c.faults.report_dup << "/" << c.faults.report_reorder << "/"
+          << c.faults.report_corrupt << "/" << c.faults.report_truncate << "; ";
     }
     out << "stale_k " << c.stale_feedback_k << ", backoff "
         << (c.ack_failure_backoff ? "on" : "off") << "\n";

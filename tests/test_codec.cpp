@@ -22,14 +22,16 @@ UplinkFrame sample_uplink() {
 
 TEST(Codec, UplinkSizeMatchesAirtimeModel) {
   // The airtime model charges app payload + 2 bytes per SoC sample; the
-  // wire format adds the fixed header. This pins the paper's "+4 bytes"
-  // claim at the byte level.
+  // wire format adds the fixed header plus the report integrity trailer
+  // (seq u16 + CRC-8). The trailer is deliberately NOT part of
+  // total_bytes(): the paper's airtime/energy model predates it, so it is
+  // pinned here as an explicit wire-only cost.
   const UplinkFrame frame = sample_uplink();
   const auto bytes = encode_uplink(frame);
-  EXPECT_EQ(bytes.size(), kUplinkHeaderBytes + 2u * 2u +
+  EXPECT_EQ(bytes.size(), kUplinkHeaderBytes + 2u * 2u + kReportTrailerBytes +
                               static_cast<std::size_t>(frame.app_payload_bytes));
   EXPECT_EQ(bytes.size() - kUplinkHeaderBytes,
-            static_cast<std::size_t>(frame.total_bytes()));
+            static_cast<std::size_t>(frame.total_bytes()) + kReportTrailerBytes);
 }
 
 TEST(Codec, UplinkRoundTrip) {
@@ -125,10 +127,13 @@ TEST(Codec, AckWithEverythingRoundTrips) {
 TEST(Codec, PaperOverheadClaims) {
   // Paper Sec. III-B: the SoC trace share adds 4 bytes to the uplink
   // (2 x 2 bytes) and the degradation dissemination adds 1 byte to the ACK.
+  // The hardened wire format additionally spends kReportTrailerBytes (3) on
+  // the report sequence number and CRC whenever a report is attached.
   UplinkFrame with_report = sample_uplink();  // the two-point report
   UplinkFrame without = with_report;
   without.soc_report.clear();
-  EXPECT_EQ(encode_uplink(with_report).size() - encode_uplink(without).size(), 4u);
+  EXPECT_EQ(encode_uplink(with_report).size() - encode_uplink(without).size(),
+            4u + kReportTrailerBytes);
 
   AckFrame with_w;
   with_w.has_degradation = true;
@@ -152,10 +157,14 @@ TEST(Codec, RandomizedRoundTripProperty) {
       frame.soc_report.push_back({t, rng.uniform(0.0, 1.0)});
       t += Time::from_minutes(rng.uniform(1.0, 30.0));
     }
+    if (!frame.soc_report.empty()) {
+      frame.report_seq = static_cast<std::uint16_t>(rng.uniform_int(0, 0xffff));
+    }
     const auto bytes = encode_uplink(frame);
     const Time reference = frame.soc_report.empty() ? Time::zero() : frame.soc_report.back().t;
     const UplinkFrame decoded = decode_uplink(bytes, reference);
     ASSERT_EQ(decoded.node_id, frame.node_id);
+    ASSERT_EQ(decoded.report_seq, frame.report_seq);
     ASSERT_EQ(decoded.seq, frame.seq);
     ASSERT_EQ(decoded.attempt, frame.attempt);
     ASSERT_EQ(decoded.selected_window, frame.selected_window);

@@ -10,6 +10,12 @@ UplinkFrame frame(std::uint32_t node, std::uint32_t seq, std::vector<SocSample> 
   f.node_id = node;
   f.seq = seq;
   f.soc_report = std::move(report);
+  if (!f.soc_report.empty()) {
+    // Mirror Node::build_frame: one report generation per packet, stamped
+    // with the simulator-level checksum.
+    f.report_seq = static_cast<std::uint16_t>(seq);
+    f.report_crc = report_checksum(f.report_seq, f.soc_report);
+  }
   return f;
 }
 
