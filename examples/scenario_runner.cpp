@@ -47,6 +47,7 @@ fast_fading = false           # Rayleigh per-transmission fades
 period_jitter = 0             # +/- fraction of the sampling period
 interference_tx_per_hour = 0  # foreign LoRa traffic
 packet_log = false            # per-packet event log (short runs only)
+ingest_batch = 1              # gateway ledger ingest watermark (any value, same bytes)
 
 # Fault injection (all off by default) + graceful-degradation knobs.
 fault_outage_daily_start_h = 0

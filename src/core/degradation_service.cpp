@@ -74,158 +74,181 @@ std::uint8_t report_checksum(std::uint16_t report_seq, std::span<const SocSample
 }
 
 DegradationService::DegradationService(const DegradationModel& model, double temperature_c)
-    : model_{model}, temperature_c_{temperature_c} {}
+    : store_{model, temperature_c, static_cast<std::uint32_t>(kReorderDepth) + 1} {}
 
-DegradationService::NodeState& DegradationService::obtain(std::uint32_t node_id) {
+NodeHandle DegradationService::obtain(std::uint32_t node_id) {
   // Single hash lookup: try_emplace both registers an unknown node and
   // finds a known one (this runs once per delivered SoC report).
-  auto [it, inserted] = nodes_.try_emplace(node_id);
+  auto [it, inserted] = handle_of_.try_emplace(node_id, NodeHandle{0});
   if (inserted) {
-    it->second.tracker = std::make_unique<DegradationTracker>(model_, temperature_c_);
-    ids_.insert(std::lower_bound(ids_.begin(), ids_.end(), node_id), node_id);
+    const NodeHandle h = store_.add_node();
+    it->second = h;
+    health_.push_back(static_cast<std::uint8_t>(LedgerHealth::kHealthy));
+    has_report_.push_back(0);
+    has_data_.push_back(0);
+    last_seq_.push_back(0);
+    suspicion_.push_back(0);
+    clean_streak_.push_back(0);
+    degradation_.push_back(0.0);
+    normalized_.push_back(0.0);
+    estimated_gap_s_.push_back(0.0);
+    first_sample_t_.push_back(Time::zero());
+    last_sample_t_.push_back(Time::zero());
+    const auto pos = std::lower_bound(ids_.begin(), ids_.end(), node_id);
+    const auto index = pos - ids_.begin();
+    ids_.insert(pos, node_id);
+    handles_by_id_.insert(handles_by_id_.begin() + index, h);
   }
   return it->second;
 }
 
 void DegradationService::register_node(std::uint32_t node_id) { obtain(node_id); }
 
-void DegradationService::accept_samples(NodeState& state, std::span<const SocSample> samples) {
+void DegradationService::accept_samples(NodeHandle h, std::span<const SocSample> samples) {
   for (const SocSample& s : samples) {
     if (!std::isfinite(s.soc) || s.soc < 0.0 || s.soc > 1.0) {
       ++counters_.samples_rejected_range;
       continue;
     }
-    if (state.has_data && s.t < state.last_sample_t) {
+    if (has_data_[h] != 0 && s.t < last_sample_t_[h]) {
       ++counters_.samples_rejected_nonmonotonic;
       continue;
     }
-    state.tracker->record(s.t, s.soc);
-    if (!state.has_data) state.first_sample_t = s.t;
-    state.last_sample_t = s.t;
-    state.has_data = true;
+    store_.record(h, s.t, s.soc);
+    if (has_data_[h] == 0) first_sample_t_[h] = s.t;
+    last_sample_t_[h] = s.t;
+    has_data_[h] = 1;
   }
 }
 
 void DegradationService::ingest(std::uint32_t node_id, std::span<const SocSample> samples) {
+  drain_queue();
   accept_samples(obtain(node_id), samples);
 }
 
-void DegradationService::apply_report(NodeState& state, std::span<const SocSample> samples,
+void DegradationService::apply_report(NodeHandle h, std::span<const SocSample> samples,
                                       bool bridged_gap) {
   if (bridged_gap) {
     ++counters_.gaps_bridged;
     // The trapezoid inside the tracker interpolates linearly across the
     // missing reports; account the bridged span as estimated, not observed.
-    if (state.has_data && !samples.empty() && samples.front().t > state.last_sample_t) {
-      state.estimated_gap_s += (samples.front().t - state.last_sample_t).seconds();
+    if (has_data_[h] != 0 && !samples.empty() && samples.front().t > last_sample_t_[h]) {
+      estimated_gap_s_[h] += (samples.front().t - last_sample_t_[h]).seconds();
     }
-    if (state.health == LedgerHealth::kHealthy) state.health = LedgerHealth::kGapped;
+    if (health_[h] == static_cast<std::uint8_t>(LedgerHealth::kHealthy)) {
+      health_[h] = static_cast<std::uint8_t>(LedgerHealth::kGapped);
+    }
   }
-  accept_samples(state, samples);
+  accept_samples(h, samples);
   ++counters_.reports_accepted;
 }
 
-void DegradationService::drain_held(NodeState& state) {
-  while (!state.held.empty() &&
-         state.held.front().seq == static_cast<std::uint16_t>(state.last_seq + 1)) {
-    const HeldReport report = std::move(state.held.front());
-    state.held.erase(state.held.begin());
-    state.last_seq = report.seq;
-    apply_report(state, report.samples, /*bridged_gap=*/false);
+void DegradationService::drain_held(NodeHandle h) {
+  while (store_.held_count(h) > 0 &&
+         store_.held_seq(h, 0) == static_cast<std::uint16_t>(last_seq_[h] + 1)) {
+    last_seq_[h] = store_.held_seq(h, 0);
+    apply_report(h, store_.held_samples(h, 0), /*bridged_gap=*/false);
     ++counters_.reports_reassembled;
+    store_.held_remove(h, 0);
   }
 }
 
-void DegradationService::flush_held(NodeState& state) {
-  for (HeldReport& report : state.held) {
-    const bool gap = report.seq != static_cast<std::uint16_t>(state.last_seq + 1);
-    state.last_seq = report.seq;
-    apply_report(state, report.samples, gap);
+void DegradationService::flush_held(NodeHandle h) {
+  while (store_.held_count(h) > 0) {
+    const std::uint16_t seq = store_.held_seq(h, 0);
+    const bool gap = seq != static_cast<std::uint16_t>(last_seq_[h] + 1);
+    last_seq_[h] = seq;
+    apply_report(h, store_.held_samples(h, 0), gap);
     ++counters_.reports_reassembled;
+    store_.held_remove(h, 0);
   }
-  state.held.clear();
 }
 
-void DegradationService::hold(NodeState& state, std::uint16_t report_seq,
+void DegradationService::hold(NodeHandle h, std::uint16_t report_seq,
                               std::span<const SocSample> samples) {
   // Serial order key: forward distance from the last applied sequence.
-  const auto distance = [&state](std::uint16_t seq) {
-    return static_cast<std::uint16_t>(seq - state.last_seq);
+  const auto distance = [this, h](std::uint16_t seq) {
+    return static_cast<std::uint16_t>(seq - last_seq_[h]);
   };
-  auto it = state.held.begin();
-  for (; it != state.held.end(); ++it) {
-    if (it->seq == report_seq) {
+  const std::uint32_t count = store_.held_count(h);
+  std::uint32_t slot = count;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint16_t seq = store_.held_seq(h, i);
+    if (seq == report_seq) {
       ++counters_.reports_duplicate;
       return;
     }
-    if (distance(it->seq) > distance(report_seq)) break;
+    if (distance(seq) > distance(report_seq)) {
+      slot = i;
+      break;
+    }
   }
-  HeldReport held;
-  held.seq = report_seq;
-  held.samples.assign(samples.begin(), samples.end());
-  state.held.insert(it, std::move(held));
+  store_.held_insert(h, slot, report_seq, samples);
   ++counters_.reports_buffered;
-  if (state.held.size() > kReorderDepth) {
+  if (store_.held_count(h) > kReorderDepth) {
     // Reassembly buffer exhausted: the missing reports are declared lost
     // and everything held is applied in serial order with bridged gaps.
-    flush_held(state);
+    flush_held(h);
   }
 }
 
-void DegradationService::mark_clean(NodeState& state) {
-  state.suspicion = 0;
-  ++state.clean_streak;
-  if (state.health == LedgerHealth::kQuarantined && state.clean_streak >= kRecoveryStreak) {
-    state.health = LedgerHealth::kRecovered;
+void DegradationService::mark_clean(NodeHandle h) {
+  suspicion_[h] = 0;
+  ++clean_streak_[h];
+  if (health_[h] == static_cast<std::uint8_t>(LedgerHealth::kQuarantined) &&
+      clean_streak_[h] >= kRecoveryStreak) {
+    health_[h] = static_cast<std::uint8_t>(LedgerHealth::kRecovered);
     ++counters_.recoveries;
-  } else if (state.health == LedgerHealth::kGapped && state.held.empty()) {
-    state.health = LedgerHealth::kHealthy;
+  } else if (health_[h] == static_cast<std::uint8_t>(LedgerHealth::kGapped) &&
+             store_.held_count(h) == 0) {
+    health_[h] = static_cast<std::uint8_t>(LedgerHealth::kHealthy);
   }
 }
 
-void DegradationService::mark_suspect(NodeState& state) {
-  state.clean_streak = 0;
-  ++state.suspicion;
-  if (state.health != LedgerHealth::kQuarantined && state.suspicion >= kQuarantineThreshold) {
-    state.health = LedgerHealth::kQuarantined;
+void DegradationService::mark_suspect(NodeHandle h) {
+  clean_streak_[h] = 0;
+  ++suspicion_[h];
+  if (health_[h] != static_cast<std::uint8_t>(LedgerHealth::kQuarantined) &&
+      suspicion_[h] >= kQuarantineThreshold) {
+    health_[h] = static_cast<std::uint8_t>(LedgerHealth::kQuarantined);
     ++counters_.quarantines;
   }
 }
 
-void DegradationService::ingest_report(std::uint32_t node_id, std::uint16_t report_seq,
-                                       std::uint8_t report_crc,
-                                       std::span<const SocSample> samples) {
-  NodeState& state = obtain(node_id);
+void DegradationService::process_report(std::uint32_t node_id, std::uint16_t report_seq,
+                                        std::uint8_t report_crc,
+                                        std::span<const SocSample> samples) {
+  const NodeHandle h = obtain(node_id);
   if (report_crc != report_checksum(report_seq, samples)) {
     ++counters_.reports_checksum_rejected;
-    mark_suspect(state);
+    mark_suspect(h);
     return;
   }
-  if (!state.has_report) {
-    state.has_report = true;
-    state.last_seq = report_seq;
-    apply_report(state, samples, /*bridged_gap=*/false);
-    mark_clean(state);
+  if (has_report_[h] == 0) {
+    has_report_[h] = 1;
+    last_seq_[h] = report_seq;
+    apply_report(h, samples, /*bridged_gap=*/false);
+    mark_clean(h);
     return;
   }
   // RFC-1982-style serial arithmetic: the u16 difference reinterpreted as
   // signed classifies the report relative to the last applied sequence even
   // across counter wrap.
   const auto diff =
-      static_cast<std::int16_t>(static_cast<std::uint16_t>(report_seq - state.last_seq));
+      static_cast<std::int16_t>(static_cast<std::uint16_t>(report_seq - last_seq_[h]));
   if (diff == 0 || (diff < 0 && diff > -kSeqWindow)) {
     ++counters_.reports_duplicate;
     return;
   }
   if (diff == 1) {
-    state.last_seq = report_seq;
-    apply_report(state, samples, /*bridged_gap=*/false);
-    drain_held(state);
-    mark_clean(state);
+    last_seq_[h] = report_seq;
+    apply_report(h, samples, /*bridged_gap=*/false);
+    drain_held(h);
+    mark_clean(h);
     return;
   }
   if (diff > 1 && diff <= kSeqWindow) {
-    hold(state, report_seq, samples);
+    hold(h, report_seq, samples);
     return;
   }
   // Sequence far outside the window: the node's volatile report counter
@@ -233,77 +256,112 @@ void DegradationService::ingest_report(std::uint32_t node_id, std::uint16_t repo
   // not pair into a phantom cycle, drop pre-crash stragglers (no longer
   // reassemblable in the new sequence space) and resume.
   ++counters_.discontinuities;
-  state.tracker->mark_discontinuity();
-  state.held.clear();
-  state.last_seq = report_seq;
-  apply_report(state, samples, /*bridged_gap=*/false);
-  mark_clean(state);
+  store_.mark_discontinuity(h);
+  store_.held_clear(h);
+  last_seq_[h] = report_seq;
+  apply_report(h, samples, /*bridged_gap=*/false);
+  mark_clean(h);
 }
 
-double DegradationService::degradation_of(const NodeState& state, Time now) const {
-  // The interpolated-segment policy for bridged gaps: the tracker's
-  // trapezoid integrates calendar aging linearly across the gap and
-  // rainflow pairs turning points straight over it — identical to what the
-  // pre-hardening blind ingest produced for a lost report, which keeps
-  // fault-free runs bit-exact. The estimated share of the trace is FLAGGED
-  // (estimated_gap_s, kGapped health, gaps_bridged) rather than rescaled;
-  // distrust is expressed through quarantine, not through silently
-  // inflating D_u.
-  return state.tracker->degradation(now);
+void DegradationService::ingest_report(std::uint32_t node_id, std::uint16_t report_seq,
+                                       std::uint8_t report_crc,
+                                       std::span<const SocSample> samples) {
+  drain_queue();
+  process_report(node_id, report_seq, report_crc, samples);
+}
+
+void DegradationService::enqueue_report(std::uint32_t node_id, std::uint16_t report_seq,
+                                        std::uint8_t report_crc,
+                                        std::span<const SocSample> samples) {
+  queue_.push(node_id, report_seq, report_crc, samples);
+  if (queue_.size() >= ingest_batch_) drain_queue();
+}
+
+std::size_t DegradationService::drain_queue() {
+  std::size_t drained = 0;
+  while (!queue_.empty()) {
+    const SocIngestQueue::Record record = queue_.front();
+    // The span aliases the queue's payload vector; process_report copies
+    // anything it keeps (arena-held reassembly slots, tracker columns) and
+    // never pushes, so the alias is safe until pop_front().
+    process_report(record.node_id, record.report_seq, record.report_crc, queue_.front_samples());
+    queue_.pop_front();
+    ++drained;
+  }
+  return drained;
+}
+
+void DegradationService::set_ingest_batch(std::size_t batch) {
+  if (batch == 0) throw std::invalid_argument{"DegradationService: ingest batch must be >= 1"};
+  ingest_batch_ = batch;
 }
 
 void DegradationService::recompute(Time now) {
+  // The dissemination period is the deterministic deadline for late
+  // reports: whatever is still staged or buffered is applied now.
+  drain_queue();
   // Canonical pass order: ascending node id via ids_, never the hash table
   // (see the member comment in the header).
   max_degradation_ = 0.0;
-  for (const std::uint32_t id : ids_) {
-    NodeState& state = nodes_.find(id)->second;
-    // The dissemination period is the deterministic deadline for late
-    // reports: whatever is still buffered is applied now, gaps bridged.
-    if (!state.held.empty()) flush_held(state);
-    state.degradation = degradation_of(state, now);
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    const NodeHandle h = handles_by_id_[i];
+    if (store_.held_count(h) > 0) flush_held(h);
+    // The interpolated-segment policy for bridged gaps: the tracker's
+    // trapezoid integrates calendar aging linearly across the gap and
+    // rainflow pairs turning points straight over it — identical to what the
+    // pre-hardening blind ingest produced for a lost report, which keeps
+    // fault-free runs bit-exact. The estimated share of the trace is FLAGGED
+    // (estimated_gap_s, kGapped health, gaps_bridged) rather than rescaled;
+    // distrust is expressed through quarantine, not through silently
+    // inflating D_u.
+    degradation_[h] = store_.degradation_at(h, now);
     // Quarantined ledgers hold untrusted (or stale) estimates: they get the
     // conservative prior below and must not inflate or dilute D_max.
-    if (state.has_data && state.health != LedgerHealth::kQuarantined) {
-      max_degradation_ = std::max(max_degradation_, state.degradation);
+    if (has_data_[h] != 0 && health_[h] != static_cast<std::uint8_t>(LedgerHealth::kQuarantined)) {
+      max_degradation_ = std::max(max_degradation_, degradation_[h]);
     }
   }
-  for (const std::uint32_t id : ids_) {
-    NodeState& state = nodes_.find(id)->second;
-    if (state.health == LedgerHealth::kQuarantined) {
-      state.normalized = 1.0;
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    const NodeHandle h = handles_by_id_[i];
+    if (health_[h] == static_cast<std::uint8_t>(LedgerHealth::kQuarantined)) {
+      normalized_[h] = 1.0;
     } else {
-      state.normalized = max_degradation_ > 0.0 ? state.degradation / max_degradation_ : 0.0;
+      normalized_[h] = max_degradation_ > 0.0 ? degradation_[h] / max_degradation_ : 0.0;
     }
-    if (state.health == LedgerHealth::kRecovered) state.health = LedgerHealth::kHealthy;
+    if (health_[h] == static_cast<std::uint8_t>(LedgerHealth::kRecovered)) {
+      health_[h] = static_cast<std::uint8_t>(LedgerHealth::kHealthy);
+    }
   }
 }
 
-const DegradationService::NodeState& DegradationService::state_of(std::uint32_t node_id) const {
-  const auto it = nodes_.find(node_id);
-  if (it == nodes_.end()) {
+NodeHandle DegradationService::handle_of(std::uint32_t node_id) const {
+  const auto it = handle_of_.find(node_id);
+  if (it == handle_of_.end()) {
     throw std::out_of_range{"DegradationService: unknown node " + std::to_string(node_id)};
   }
   return it->second;
 }
 
 double DegradationService::normalized_degradation(std::uint32_t node_id) const {
-  return state_of(node_id).normalized;
+  return normalized_[handle_of(node_id)];
 }
 
 double DegradationService::degradation(std::uint32_t node_id) const {
-  return state_of(node_id).degradation;
+  return degradation_[handle_of(node_id)];
 }
 
 LedgerHealth DegradationService::health(std::uint32_t node_id) const {
-  return state_of(node_id).health;
+  return static_cast<LedgerHealth>(health_[handle_of(node_id)]);
 }
 
 double DegradationService::estimated_gap_seconds(std::uint32_t node_id) const {
-  return state_of(node_id).estimated_gap_s;
+  return estimated_gap_s_[handle_of(node_id)];
 }
 
 void DegradationService::checkpoint(std::ostream& out) const {
+  if (!queue_.empty()) {
+    throw std::logic_error{"DegradationService: drain_queue() before checkpoint()"};
+  }
   // Line-oriented text, doubles as bit patterns, FNV-1a checksum trailer.
   std::ostringstream body;
   body << "blamledger v1 nodes " << ids_.size() << " maxdeg " << hex_double(max_degradation_)
@@ -314,14 +372,16 @@ void DegradationService::checkpoint(std::ostream& out) const {
        << c.reports_reassembled << ' ' << c.samples_rejected_nonmonotonic << ' '
        << c.samples_rejected_range << ' ' << c.gaps_bridged << ' ' << c.discontinuities << ' '
        << c.quarantines << ' ' << c.recoveries << "\n";
-  for (const std::uint32_t id : ids_) {
-    const NodeState& s = nodes_.find(id)->second;
-    body << "node " << id << ' ' << static_cast<int>(s.health) << ' ' << (s.has_report ? 1 : 0)
-         << ' ' << (s.has_data ? 1 : 0) << ' ' << s.last_seq << ' ' << s.suspicion << ' '
-         << s.clean_streak << ' ' << hex_double(s.degradation) << ' ' << hex_double(s.normalized)
-         << ' ' << hex_double(s.estimated_gap_s) << ' ' << s.first_sample_t.us() << ' '
-         << s.last_sample_t.us() << "\n";
-    const DegradationTracker::Snapshot t = s.tracker->snapshot();
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    const std::uint32_t id = ids_[i];
+    const NodeHandle h = handles_by_id_[i];
+    body << "node " << id << ' ' << static_cast<int>(health_[h]) << ' '
+         << (has_report_[h] != 0 ? 1 : 0) << ' ' << (has_data_[h] != 0 ? 1 : 0) << ' '
+         << last_seq_[h] << ' ' << suspicion_[h] << ' ' << clean_streak_[h] << ' '
+         << hex_double(degradation_[h]) << ' ' << hex_double(normalized_[h]) << ' '
+         << hex_double(estimated_gap_s_[h]) << ' ' << first_sample_t_[h].us() << ' '
+         << last_sample_t_[h].us() << "\n";
+    const DegradationTracker::Snapshot t = store_.snapshot(h);
     body << "tracker " << hex_double(t.closed_cycle_sum) << ' ' << t.last_time.us() << ' '
          << hex_double(t.last_soc) << ' ' << (t.has_sample ? 1 : 0) << ' '
          << hex_double(t.soc_time_integral) << ' ' << hex_double(t.stress_time_integral) << ' '
@@ -332,10 +392,11 @@ void DegradationService::checkpoint(std::ostream& out) const {
          << t.rainflow.stack.size();
     for (const double point : t.rainflow.stack) body << ' ' << hex_double(point);
     body << "\n";
-    body << "held " << s.held.size() << "\n";
-    for (const HeldReport& h : s.held) {
-      body << "heldrep " << h.seq << ' ' << h.samples.size();
-      for (const SocSample& sample : h.samples) {
+    body << "held " << store_.held_count(h) << "\n";
+    for (std::uint32_t slot = 0; slot < store_.held_count(h); ++slot) {
+      const std::span<const SocSample> samples = store_.held_samples(h, slot);
+      body << "heldrep " << store_.held_seq(h, slot) << ' ' << samples.size();
+      for (const SocSample& sample : samples) {
         body << ' ' << sample.t.us() << ' ' << hex_double(sample.soc);
       }
       body << "\n";
@@ -351,6 +412,9 @@ void DegradationService::restore(std::istream& in) {
   const auto fail = [](const std::string& what) {
     throw std::runtime_error{"ledger checkpoint: " + what};
   };
+  if (!queue_.empty()) {
+    throw std::logic_error{"DegradationService: drain_queue() before restore()"};
+  }
 
   // Collect the payload first so the checksum covers exactly what is parsed.
   std::string payload;
@@ -380,8 +444,21 @@ void DegradationService::restore(std::istream& in) {
   if (!(body >> tag >> n_nodes) || tag != "nodes") fail("missing node count");
   if (!(body >> tag >> word) || tag != "maxdeg") fail("missing maxdeg");
 
-  nodes_.clear();
+  store_.reset();
+  health_.clear();
+  has_report_.clear();
+  has_data_.clear();
+  last_seq_.clear();
+  suspicion_.clear();
+  clean_streak_.clear();
+  degradation_.clear();
+  normalized_.clear();
+  estimated_gap_s_.clear();
+  first_sample_t_.clear();
+  last_sample_t_.clear();
+  handle_of_.clear();
   ids_.clear();
+  handles_by_id_.clear();
   max_degradation_ = parse_hex_double(word);
 
   if (!(body >> tag) || tag != "counters") fail("missing counters");
@@ -404,23 +481,22 @@ void DegradationService::restore(std::istream& in) {
     std::string deg;
     std::string norm;
     std::string gap;
-    NodeState fresh;
     if (!(body >> tag >> id) || tag != "node") fail("missing node record");
-    NodeState& s = obtain(id);
-    if (s.has_report || s.has_data) fail("duplicate node record");
-    if (!(body >> health >> has_report >> has_data >> s.last_seq >> s.suspicion >>
-          s.clean_streak >> deg >> norm >> gap >> first_us >> last_us)) {
+    if (handle_of_.find(id) != handle_of_.end()) fail("duplicate node record");
+    const NodeHandle h = obtain(id);
+    if (!(body >> health >> has_report >> has_data >> last_seq_[h] >> suspicion_[h] >>
+          clean_streak_[h] >> deg >> norm >> gap >> first_us >> last_us)) {
       fail("malformed node record");
     }
     if (health < 0 || health > 3) fail("health out of range");
-    s.health = static_cast<LedgerHealth>(health);
-    s.has_report = has_report != 0;
-    s.has_data = has_data != 0;
-    s.degradation = parse_hex_double(deg);
-    s.normalized = parse_hex_double(norm);
-    s.estimated_gap_s = parse_hex_double(gap);
-    s.first_sample_t = Time::from_us(first_us);
-    s.last_sample_t = Time::from_us(last_us);
+    health_[h] = static_cast<std::uint8_t>(health);
+    has_report_[h] = has_report != 0 ? 1 : 0;
+    has_data_[h] = has_data != 0 ? 1 : 0;
+    degradation_[h] = parse_hex_double(deg);
+    normalized_[h] = parse_hex_double(norm);
+    estimated_gap_s_[h] = parse_hex_double(gap);
+    first_sample_t_[h] = Time::from_us(first_us);
+    last_sample_t_[h] = Time::from_us(last_us);
 
     DegradationTracker::Snapshot t;
     std::string closed;
@@ -462,23 +538,26 @@ void DegradationService::restore(std::istream& in) {
       if (!(body >> word)) fail("truncated rainflow stack");
       t.rainflow.stack.push_back(parse_hex_double(word));
     }
-    s.tracker->restore(t);
+    store_.restore(h, t);
 
     std::size_t n_held = 0;
     if (!(body >> tag >> n_held) || tag != "held") fail("malformed held record");
-    for (std::size_t h = 0; h < n_held; ++h) {
-      HeldReport held;
+    if (n_held > kReorderDepth) fail("held buffer overflow");
+    std::vector<SocSample> held_samples;
+    for (std::size_t held = 0; held < n_held; ++held) {
+      std::uint16_t seq = 0;
       std::size_t n_samples = 0;
-      if (!(body >> tag >> held.seq >> n_samples) || tag != "heldrep") {
+      if (!(body >> tag >> seq >> n_samples) || tag != "heldrep") {
         fail("malformed held report");
       }
-      held.samples.reserve(n_samples);
+      held_samples.clear();
+      held_samples.reserve(n_samples);
       for (std::size_t sm = 0; sm < n_samples; ++sm) {
         std::int64_t t_us = 0;
         if (!(body >> t_us >> word)) fail("truncated held report");
-        held.samples.push_back(SocSample{Time::from_us(t_us), parse_hex_double(word)});
+        held_samples.push_back(SocSample{Time::from_us(t_us), parse_hex_double(word)});
       }
-      s.held.push_back(std::move(held));
+      store_.held_insert(h, static_cast<std::uint32_t>(held), seq, held_samples);
     }
   }
   if (body >> tag) fail("trailing data");

@@ -3,61 +3,63 @@
 //
 // Nodes cannot run the rainflow model themselves, so they piggy-back their
 // SoC transition points (4 bytes per packet) on uplinks; the gateway
-// maintains one DegradationTracker per node, recomputes every node's
-// degradation D_u once per `recompute_interval` (daily by default), derives
-// the normalized degradation w_u = D_u / D_max, and hands w_u back to each
+// maintains one ledger row per node, recomputes every node's degradation
+// D_u once per `recompute_interval` (daily by default), derives the
+// normalized degradation w_u = D_u / D_max, and hands w_u back to each
 // node inside its ACKs (1 extra byte). A node that has never reported (or a
 // fresh battery) gets w_u = 0, letting it run Algorithm 1 without ever
 // hearing from the gateway.
 //
+// PR 7 restructures the service into a batched streaming pipeline sized for
+// a million-node fleet:
+//
+//  * per-node state is columnar (SoA): integrity/health policy columns live
+//    here, the flattened tracker + rainflow + reassembly storage lives in
+//    LedgerStore (core/ledger_store.hpp), all indexed by one dense
+//    NodeHandle;
+//  * report arrival is decoupled from rainflow processing by a FIFO staging
+//    queue (core/soc_ingest_queue.hpp): enqueue_report() copies the report
+//    and drains the queue whenever `ingest_batch` reports are waiting
+//    (watermark backpressure); recompute(), checkpoint-time callers and
+//    end-of-run barriers call drain_queue() explicitly. Drain order is
+//    arrival order, so ANY batch size yields the bit-identical ledger, and
+//    batch size 1 degenerates to the legacy synchronous path — the same
+//    jobs=1 == serial argument SweepRunner established;
+//  * recompute() touches the rainflow residual stacks of dirty nodes only
+//    (LedgerStore caches the cycle-linear chain per node), while calendar
+//    aging still advances for everyone.
+//
 // The feedback pipe is lossy in deployment (and under the fault plan):
 // reports are dropped, duplicated, reordered, truncated and bit-flipped by
-// the very channel faults PR 1 injects. ingest_report() is the hardened
-// entry point: it verifies the report checksum, classifies the report
-// sequence number with serial-number arithmetic (duplicate / in-order /
-// out-of-order / counter reset), buffers bounded out-of-order reports for
-// deterministic reassembly, bridges unfilled gaps with an explicit
-// interpolated-segment policy (the tracker's trapezoid/rainflow bridging,
-// flagged per node as estimated seconds + gapped health rather than
-// silently trusted), and treats a far-off sequence (the node's volatile counter
-// reset at reboot) as an SoC discontinuity that seals the rainflow residual
-// instead of fabricating a phantom cycle. Every node carries a ledger
-// health state machine (healthy → gapped → quarantined → recovered) and a
-// quarantined node gets the conservative prior w_u = 1 while being excluded
-// from D_max, so one garbage-spewing radio cannot dilute everyone else's
-// feedback. checkpoint()/restore() serialize the full ledger so a restarted
-// gateway service resumes from its last recompute instead of resetting the
-// network to w_u = 0.
-//
-// With an intact in-order stream, ingest_report() performs exactly the same
-// tracker.record() calls as the legacy ingest(), so fault-free results are
-// bit-identical to the pre-hardening service.
+// the very channel faults PR 1 injects. The PR-6 integrity layer is
+// unchanged: checksum verification, RFC-1982 serial-number classification
+// (duplicate / in-order / out-of-order / counter reset), bounded
+// out-of-order reassembly, flagged gap bridging, crash-reset residual
+// sealing, and the healthy → gapped → quarantined → recovered health
+// machine with the conservative prior w_u = 1 (excluded from D_max) while
+// quarantined. checkpoint()/restore() keep the PR-6 "blamledger v1" text
+// format bit-for-bit, so pre-refactor checkpoints restore into the
+// columnar layout and re-serialize byte-identically.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
-#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
+#include "core/ledger_store.hpp"
+#include "core/soc_ingest_queue.hpp"
+#include "core/soc_sample.hpp"
 #include "degradation/model.hpp"
-#include "degradation/tracker.hpp"
 
 namespace blam {
-
-/// One SoC transition point as carried in an uplink (paper: forecast-window
-/// index + SoC, 2 x 2 bytes; we keep engineering units internally).
-struct SocSample {
-  Time t;
-  double soc;
-};
 
 /// Checksum of a simulator-level SoC report: CRC-8 over the report sequence
 /// number and each sample's canonical byte image (timestamp microseconds +
 /// SoC bit pattern, little-endian). Nodes stamp it into UplinkFrame::
-/// report_crc; ingest_report() recomputes and compares before trusting the
+/// report_crc; the ingest path recomputes and compares before trusting the
 /// samples. (The wire codec carries its own CRC over the quantized FOpts
 /// bytes; this one protects the exact values the simulator transports.)
 [[nodiscard]] std::uint8_t report_checksum(std::uint16_t report_seq,
@@ -122,20 +124,39 @@ class DegradationService {
   /// integrity layer (no sequence numbers available — direct trace feeds in
   /// tests and benches). Samples are still validated: non-finite or
   /// out-of-range SoC and backwards timestamps are rejected and counted,
-  /// never ingested.
+  /// never ingested. Drains any staged reports first so mixed use keeps
+  /// arrival order.
   void ingest(std::uint32_t node_id, std::span<const SocSample> samples);
 
-  /// Hardened ingest of one piggy-backed report: checksum verification,
-  /// sequence classification, dedup, bounded out-of-order reassembly, gap
-  /// bridging and crash-reset detection (see the file comment).
+  /// Synchronous hardened ingest of one piggy-backed report: checksum
+  /// verification, sequence classification, dedup, bounded out-of-order
+  /// reassembly, gap bridging and crash-reset detection (see the file
+  /// comment). Drains any staged reports first so mixed use keeps arrival
+  /// order.
   void ingest_report(std::uint32_t node_id, std::uint16_t report_seq, std::uint8_t report_crc,
                      std::span<const SocSample> samples);
 
+  /// Streaming entry point: stages the report in the ingestion queue and
+  /// drains it once `ingest_batch()` reports are waiting. Bit-identical to
+  /// ingest_report() for every batch size (drain order = arrival order);
+  /// batch size 1 drains on every call (the legacy synchronous behavior).
+  void enqueue_report(std::uint32_t node_id, std::uint16_t report_seq, std::uint8_t report_crc,
+                      std::span<const SocSample> samples);
+
+  /// Processes every staged report in arrival order; returns the count.
+  std::size_t drain_queue();
+
+  /// Queue watermark for enqueue_report() (must be >= 1).
+  void set_ingest_batch(std::size_t batch);
+  [[nodiscard]] std::size_t ingest_batch() const { return ingest_batch_; }
+  [[nodiscard]] std::size_t queued_reports() const { return queue_.size(); }
+
   /// Recomputes D_u for every node and refreshes w_u = D_u / D_max.
-  /// Call once per dissemination period (daily in the paper). Flushes every
-  /// node's reassembly buffer first (the dissemination period is the
-  /// deterministic deadline for late reports). D_max excludes quarantined
-  /// nodes, whose w_u is pinned to the conservative prior 1.
+  /// Call once per dissemination period (daily in the paper). Drains the
+  /// ingestion queue and every node's reassembly buffer first (the
+  /// dissemination period is the deterministic deadline for late reports).
+  /// D_max excludes quarantined nodes, whose w_u is pinned to the
+  /// conservative prior 1.
   void recompute(Time now);
 
   /// Latest normalized degradation for the node; 0 until the first
@@ -149,7 +170,7 @@ class DegradationService {
   /// last recompute().
   [[nodiscard]] double max_degradation() const { return max_degradation_; }
 
-  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return ids_.size(); }
 
   /// Ascending node ids (canonical recompute order).
   [[nodiscard]] const std::vector<std::uint32_t>& ids() const { return ids_; }
@@ -162,75 +183,78 @@ class DegradationService {
 
   [[nodiscard]] const LedgerCounters& counters() const { return counters_; }
 
+  /// Columnar state backing the ledger (introspection for bench/tests).
+  [[nodiscard]] const LedgerStore& store() const { return store_; }
+
   /// Serializes the complete ledger (trackers, health, reassembly buffers,
   /// counters, last recompute results) as line-oriented text with bit-exact
-  /// doubles and a trailing integrity checksum.
+  /// doubles and a trailing integrity checksum. The ingestion queue must be
+  /// drained first (throws std::logic_error otherwise): staged reports are
+  /// transport state, not ledger state.
   void checkpoint(std::ostream& out) const;
 
   /// Rebuilds the ledger from a checkpoint() stream, replacing all current
   /// state. The service must have been constructed with the same model and
-  /// temperature. Throws std::runtime_error on malformed or corrupt input.
+  /// temperature, and the ingestion queue must be empty (std::logic_error).
+  /// Throws std::runtime_error on malformed or corrupt input.
   void restore(std::istream& in);
 
  private:
-  struct HeldReport {
-    std::uint16_t seq{0};
-    std::vector<SocSample> samples;
-  };
+  [[nodiscard]] NodeHandle handle_of(std::uint32_t node_id) const;
 
-  struct NodeState {
-    std::unique_ptr<DegradationTracker> tracker;
-    double degradation{0.0};
-    double normalized{0.0};
-    LedgerHealth health{LedgerHealth::kHealthy};
-    /// Integrity pipeline has seen at least one report from this node.
-    bool has_report{false};
-    /// At least one sample was accepted into the tracker.
-    bool has_data{false};
-    std::uint16_t last_seq{0};
-    std::uint32_t suspicion{0};
-    std::uint32_t clean_streak{0};
-    /// Reassembly buffer, sorted by serial distance from last_seq.
-    std::vector<HeldReport> held;
-    double estimated_gap_s{0.0};
-    Time first_sample_t{};
-    Time last_sample_t{};
-  };
-
-  [[nodiscard]] const NodeState& state_of(std::uint32_t node_id) const;
-
-  /// Finds-or-creates the state for `node_id` with a single hash lookup,
+  /// Finds-or-creates the row for `node_id` with a single hash lookup,
   /// keeping the sorted ids_ index in step.
-  NodeState& obtain(std::uint32_t node_id);
+  NodeHandle obtain(std::uint32_t node_id);
+
+  /// One report through the full integrity pipeline (the drain sink).
+  void process_report(std::uint32_t node_id, std::uint16_t report_seq, std::uint8_t report_crc,
+                      std::span<const SocSample> samples);
 
   /// Validates and records samples (shared by both ingest paths).
-  void accept_samples(NodeState& state, std::span<const SocSample> samples);
+  void accept_samples(NodeHandle h, std::span<const SocSample> samples);
   /// One verified report: gap accounting + sample acceptance.
-  void apply_report(NodeState& state, std::span<const SocSample> samples, bool bridged_gap);
+  void apply_report(NodeHandle h, std::span<const SocSample> samples, bool bridged_gap);
   /// Applies buffered reports that now continue the sequence exactly.
-  void drain_held(NodeState& state);
+  void drain_held(NodeHandle h);
   /// Gives up waiting: applies ALL buffered reports in serial order,
   /// bridging the gaps of reports declared lost.
-  void flush_held(NodeState& state);
-  void hold(NodeState& state, std::uint16_t report_seq, std::span<const SocSample> samples);
-  void mark_clean(NodeState& state);
-  void mark_suspect(NodeState& state);
-  /// D_u under the interpolated-segment gap policy (see degradation_of's
-  /// definition: interpolation is the tracker's own bridging, flagged but
-  /// not rescaled).
-  [[nodiscard]] double degradation_of(const NodeState& state, Time now) const;
+  void flush_held(NodeHandle h);
+  void hold(NodeHandle h, std::uint16_t report_seq, std::span<const SocSample> samples);
+  void mark_clean(NodeHandle h);
+  void mark_suspect(NodeHandle h);
 
-  DegradationModel model_;
-  double temperature_c_;
-  // Lookup-only by node id on the per-uplink path; every full pass
-  // (recompute) walks `ids_` below, never the hash table.
-  // blam-lint: allow(D2) -- never iterated: recompute() walks the sorted ids_ index
-  std::unordered_map<std::uint32_t, NodeState> nodes_;
+  /// Columnar tracker/rainflow/reassembly state, indexed by NodeHandle.
+  LedgerStore store_;
+  /// Arrival-order staging queue (enqueue_report / drain_queue).
+  SocIngestQueue queue_;
+  std::size_t ingest_batch_{1};
+
+  // Integrity/health policy columns, parallel to store_ rows.
+  std::vector<std::uint8_t> health_;
+  std::vector<std::uint8_t> has_report_;
+  std::vector<std::uint8_t> has_data_;
+  std::vector<std::uint16_t> last_seq_;
+  std::vector<std::uint32_t> suspicion_;
+  std::vector<std::uint32_t> clean_streak_;
+  std::vector<double> degradation_;
+  std::vector<double> normalized_;
+  std::vector<double> estimated_gap_s_;
+  std::vector<Time> first_sample_t_;
+  std::vector<Time> last_sample_t_;
+
+  // Node-id index. Lookup-only by node id on the per-report path; every
+  // full pass (recompute, checkpoint) walks the sorted ids_ index below.
+  // blam-lint: allow(D2) -- never iterated: full passes walk the sorted ids_ index
+  std::unordered_map<std::uint32_t, NodeHandle> handle_of_;
   /// Ascending node ids, maintained sorted on insert: recompute() iterates
   /// this index so w_u passes are in canonical id order regardless of hash
   /// layout (D_max via std::max is order-independent anyway, but sorted
   /// iteration keeps the pass order reproducible by inspection).
   std::vector<std::uint32_t> ids_;
+  /// Dense handles parallel to ids_ (handles_by_id_[i] is the row of
+  /// ids_[i]).
+  std::vector<NodeHandle> handles_by_id_;
+
   double max_degradation_{0.0};
   LedgerCounters counters_;
 };

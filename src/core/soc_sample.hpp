@@ -1,0 +1,15 @@
+// One SoC transition point as carried in an uplink (paper: forecast-window
+// index + SoC, 2 x 2 bytes; we keep engineering units internally). Shared
+// by the MAC frame, the ingestion queue, and the gateway ledger.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace blam {
+
+struct SocSample {
+  Time t;
+  double soc;
+};
+
+}  // namespace blam

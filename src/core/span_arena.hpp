@@ -1,0 +1,121 @@
+// Chunked slab arena for many small per-node spans (rainflow residual
+// stacks, buffered report samples) backing the columnar gateway ledger.
+//
+// One flat pool holds every span's storage; a span is addressed by a POD
+// `Ref` (offset + size + size class) that lives in a column of the SoA node
+// table. Chunks come in power-of-two size classes with a LIFO free list per
+// class: growing a span allocates the next class, copies, and recycles the
+// old chunk, so a steady-state ledger performs no heap allocation per
+// report — the pool vector only grows (amortized) while the fleet's total
+// footprint is still expanding. All addressing is by index, never by
+// pointer, so pool growth cannot dangle a span.
+//
+// Determinism: chunk placement is a pure function of the allocation call
+// sequence (append to the pool, or pop the per-class LIFO free list), and
+// the call sequence is a pure function of the ingested data — no hashing,
+// no addresses, no global state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace blam {
+
+template <typename T>
+class SpanArena {
+ public:
+  /// Smallest chunk: most rainflow residual stacks never outgrow it.
+  static constexpr std::uint32_t kMinCapacity = 4;
+  /// Size classes kMinCapacity << c for c in [0, kClasses): 4 .. 32 Mi
+  /// elements. A span that outgrows the last class is a logic error.
+  static constexpr std::size_t kClasses = 24;
+
+  /// Span handle stored in a node-table column. `cls < 0` means no chunk is
+  /// owned (empty span that never allocated, or released).
+  struct Ref {
+    std::uint32_t offset{0};
+    std::uint32_t size{0};
+    std::int8_t cls{-1};
+  };
+
+  [[nodiscard]] std::span<const T> view(const Ref& ref) const {
+    return {pool_.data() + ref.offset, ref.size};
+  }
+
+  /// Mutable element access within an existing span (index < ref.size).
+  [[nodiscard]] T& at(const Ref& ref, std::uint32_t index) { return pool_[ref.offset + index]; }
+  [[nodiscard]] const T& at(const Ref& ref, std::uint32_t index) const {
+    return pool_[ref.offset + index];
+  }
+
+  void push_back(Ref& ref, const T& value) {
+    if (ref.cls < 0) {
+      allocate(ref, 0);
+    } else if (ref.size == capacity_of(ref.cls)) {
+      grow(ref);
+    }
+    pool_[ref.offset + ref.size] = value;
+    ++ref.size;
+  }
+
+  /// Drops the last `n` elements (chunk retained).
+  void shrink(Ref& ref, std::uint32_t n) { ref.size -= n; }
+
+  /// Empties the span but keeps its chunk for reuse by the same node.
+  void clear(Ref& ref) { ref.size = 0; }
+
+  /// Replaces the span's contents (grows the chunk as needed).
+  void assign(Ref& ref, std::span<const T> values) {
+    ref.size = 0;
+    for (const T& v : values) push_back(ref, v);
+  }
+
+  /// Returns the span's chunk to the free list; `ref` becomes chunkless.
+  void release(Ref& ref) {
+    if (ref.cls >= 0) free_[static_cast<std::size_t>(ref.cls)].push_back(ref.offset);
+    ref = Ref{};
+  }
+
+  /// Total elements in the pool (capacity actually reserved, for stats).
+  [[nodiscard]] std::size_t pool_elements() const { return pool_.size(); }
+
+ private:
+  [[nodiscard]] static constexpr std::uint32_t capacity_of(std::int8_t cls) {
+    return kMinCapacity << static_cast<std::uint32_t>(cls);
+  }
+
+  void allocate(Ref& ref, std::int8_t cls) {
+    if (static_cast<std::size_t>(cls) >= kClasses) {
+      throw std::length_error{"SpanArena: span exceeds the largest size class"};
+    }
+    auto& free_list = free_[static_cast<std::size_t>(cls)];
+    if (!free_list.empty()) {
+      ref.offset = free_list.back();
+      free_list.pop_back();
+    } else {
+      ref.offset = static_cast<std::uint32_t>(pool_.size());
+      pool_.resize(pool_.size() + capacity_of(cls));
+    }
+    ref.cls = cls;
+    ref.size = 0;
+  }
+
+  void grow(Ref& ref) {
+    Ref bigger;
+    allocate(bigger, static_cast<std::int8_t>(ref.cls + 1));
+    for (std::uint32_t i = 0; i < ref.size; ++i) {
+      pool_[bigger.offset + i] = pool_[ref.offset + i];
+    }
+    bigger.size = ref.size;
+    free_[static_cast<std::size_t>(ref.cls)].push_back(ref.offset);
+    ref = bigger;
+  }
+
+  std::vector<T> pool_;
+  std::array<std::vector<std::uint32_t>, kClasses> free_;
+};
+
+}  // namespace blam

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "net/topology.hpp"
 
@@ -119,6 +120,19 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
   server_ = std::make_unique<NetworkServer>(sim_, model_, config_.temperature_c,
                                             config_.dissemination_period);
   server_->attach_metrics(metrics_);
+
+  // Ingestion-queue watermark: scenario knob, overridable from the
+  // environment (the determinism CI leg regenerates figures at batch 1 and
+  // 4096 and diffs the outputs — any batch size is bit-identical).
+  std::size_t ingest_batch = config_.ingest_batch;
+  if (const char* env = std::getenv("BLAM_INGEST_BATCH")) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      ingest_batch = static_cast<std::size_t>(parsed);
+    }
+  }
+  server_->service().set_ingest_batch(ingest_batch);
 
   // The auditor is observe-only (no RNG, no state mutation), so any level
   // yields bit-identical simulation results; it attaches before anything

@@ -41,13 +41,16 @@ void NetworkServer::attach_fault_plan(const FaultPlan* faults) {
     report_faults_.emplace(*faults);
     ingest_sink_ = [this](std::uint32_t node_id, std::uint16_t report_seq,
                           std::uint8_t report_crc, std::span<const SocSample> samples) {
-      service_.ingest_report(node_id, report_seq, report_crc, samples);
+      service_.enqueue_report(node_id, report_seq, report_crc, samples);
     };
   }
 }
 
 void NetworkServer::flush_report_channel() {
   if (report_faults_.has_value()) report_faults_->flush(ingest_sink_);
+  // Final barrier: anything still staged in the ingestion queue reaches the
+  // ledger before end-of-run metrics/checkpoints read it.
+  service_.drain_queue();
 }
 
 std::uint32_t NetworkServer::acquire_pending_slot() {
@@ -158,8 +161,8 @@ bool NetworkServer::on_uplink(const UplinkFrame& frame) {
       report_faults_->deliver(frame.node_id, frame.report_seq, frame.report_crc,
                               frame.soc_report, ingest_sink_);
     } else {
-      service_.ingest_report(frame.node_id, frame.report_seq, frame.report_crc,
-                             frame.soc_report);
+      service_.enqueue_report(frame.node_id, frame.report_seq, frame.report_crc,
+                              frame.soc_report);
     }
   }
   return true;

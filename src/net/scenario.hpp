@@ -194,6 +194,14 @@ struct ScenarioConfig {
   /// BLAM_AUDIT_THROW environment variables override this at Network build
   /// time; see audit/audit.hpp.
   AuditConfig audit{};
+  /// Degradation-ledger ingestion-queue watermark: piggy-backed SoC reports
+  /// are staged and processed in batches of this size (1 = drain on every
+  /// report, the legacy synchronous path). Any value yields bit-identical
+  /// results — drain order is arrival order — so this is purely a
+  /// throughput/locality knob. The BLAM_INGEST_BATCH environment variable
+  /// overrides it at Network build time (the determinism CI leg uses that
+  /// to diff batch 1 vs 4096 outputs).
+  std::size_t ingest_batch{1};
 
   /// Number of forecast windows for a given sampling period.
   [[nodiscard]] int windows_for(Time period) const {

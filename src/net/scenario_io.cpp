@@ -171,6 +171,13 @@ ScenarioConfig scenario_from_config(const ConfigFile& file) {
                              std::to_string(c.audit.level) + ")"};
   }
   c.audit.throw_on_violation = file.get_bool("audit_throw", c.audit.throw_on_violation);
+  const std::int64_t ingest_batch =
+      file.get_int("ingest_batch", static_cast<std::int64_t>(c.ingest_batch));
+  if (ingest_batch < 1) {
+    throw std::runtime_error{"scenario: ingest_batch must be >= 1 (got " +
+                             std::to_string(ingest_batch) + ")"};
+  }
+  c.ingest_batch = static_cast<std::size_t>(ingest_batch);
   c.label = file.get_string("label", c.policy_label());
 
   const auto unused = file.unused_keys();

@@ -187,6 +187,19 @@ TEST(LintH1, NonHotPathSimFilesAreExempt) {
   EXPECT_TRUE(active("src/sim/sweep_runner.hpp", "std::function<void()> body;").empty());
 }
 
+TEST(LintH1, Pr7IngestFilesAreHotPath) {
+  // The million-node ingest path (PR 7) is under the same allocation guards
+  // as the event loop.
+  EXPECT_EQ(count_rule(active("src/core/span_arena.hpp", "int* p = new int[4];"), "H1"), 1);
+  EXPECT_EQ(count_rule(active("src/core/ledger_store.hpp", "std::map<int, int> m;"), "H1"), 1);
+  EXPECT_EQ(count_rule(active("src/core/ledger_store.cpp", "std::function<void()> f;"), "H1"), 1);
+  EXPECT_EQ(
+      count_rule(active("src/core/soc_ingest_queue.hpp", "std::shared_ptr<int> sp;"), "H1"), 1);
+  // The service itself stays per-report policy code, not per-sample inner
+  // loops; it is deliberately not listed.
+  EXPECT_TRUE(active("src/core/degradation_service.cpp", "std::function<void()> f;").empty());
+}
+
 // --- C1: CsvWriter must flush ---------------------------------------------
 
 TEST(LintC1, FlagsWriterThatNeverFlushes) {

@@ -1,0 +1,40 @@
+// CLI: bench_schema_check BENCH_a.json [BENCH_b.json ...]
+// Validates each committed bench artifact against its schema (see
+// schema_check.hpp); exits non-zero listing every violation.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_schema_check/schema_check.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_file.json [more.json ...]\n", argv[0]);
+    return 2;
+  }
+  int violations = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in{path};
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+      ++violations;
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::vector<std::string> issues =
+        blam::benchschema::check_bench_json(path, text.str());
+    if (issues.empty()) {
+      std::printf("OK   %s\n", path.c_str());
+      continue;
+    }
+    for (const std::string& issue : issues) {
+      std::fprintf(stderr, "FAIL %s\n", issue.c_str());
+      ++violations;
+    }
+  }
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+// Schema validation for the committed BENCH_*.json throughput/regression
+// artifacts (PR 7 satellite). The bench binaries emit these by hand-rolled
+// snprintf, and CI gates against the committed numbers — so a malformed or
+// silently-NaN artifact would neuter the gates. This checker parses each
+// file with a dependency-free JSON parser and enforces, per bench:
+//
+//  * the required keys exist with the right types,
+//  * every number in the file is finite (no NaN/Inf anywhere),
+//  * grid axes are strictly monotone (batch_sweep.batch, dirty_sweep.
+//    dirty_fraction, the fault grid's (loss, reorder, corrupt) triple),
+//  * boolean invariants hold (bit_identical / checkpoint_exact are true).
+//
+// Unknown BENCH_*.json files get the generic contract: valid JSON, a
+// non-empty top-level object, all numbers finite.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace blam::benchschema {
+
+/// Parsed JSON value (objects preserve key order; numbers are doubles).
+struct JsonValue {
+  enum class Kind { kObject, kArray, kNumber, kString, kBool, kNull };
+  Kind kind{Kind::kNull};
+  double number{0.0};
+  bool boolean{false};
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+};
+
+/// Parses strict JSON; throws std::runtime_error with a byte offset on
+/// syntax errors (including the non-JSON NaN/Infinity literals).
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Validates `text` as the bench artifact named `filename` (basename picks
+/// the schema). Returns human-readable violations; empty means the file
+/// passes.
+[[nodiscard]] std::vector<std::string> check_bench_json(const std::string& filename,
+                                                        std::string_view text);
+
+}  // namespace blam::benchschema

@@ -47,13 +47,17 @@ namespace {
          path == "common/rng.hpp" || path == "common/rng.cpp";
 }
 
-/// Files on the event hot path PR 3 made allocation-free. sweep_runner and
-/// campaign live in src/sim/ too but are per-cell orchestration, not
-/// per-event code, so they are deliberately not listed.
+/// Files on the event hot path PR 3 made allocation-free, plus the PR-7
+/// million-node ingest path (arena, columnar ledger, staging queue).
+/// sweep_runner and campaign live in src/sim/ too but are per-cell
+/// orchestration, not per-event code, so they are deliberately not listed.
 [[nodiscard]] bool is_hot_path(const std::string& path) {
-  static constexpr std::array<std::string_view, 5> kHot = {
-      "src/sim/event_queue.hpp", "src/sim/event_queue.cpp", "src/sim/simulator.hpp",
-      "src/sim/simulator.cpp",   "src/sim/inline_callback.hpp",
+  static constexpr std::array<std::string_view, 9> kHot = {
+      "src/sim/event_queue.hpp",  "src/sim/event_queue.cpp",
+      "src/sim/simulator.hpp",    "src/sim/simulator.cpp",
+      "src/sim/inline_callback.hpp",
+      "src/core/span_arena.hpp",  "src/core/ledger_store.hpp",
+      "src/core/ledger_store.cpp", "src/core/soc_ingest_queue.hpp",
   };
   return std::any_of(kHot.begin(), kHot.end(),
                      [&path](std::string_view h) { return ends_with(path, h); });
