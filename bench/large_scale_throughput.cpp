@@ -2,13 +2,9 @@
 // scenario (distance-based SFs on the 5 km disk, shadowing, H-50 protocol)
 // run serially for a multi-day horizon, reporting simulated events/sec and
 // wall-clock seconds. This measures the per-cell hot path itself — the
-// sweep engine (BENCH_sweep.json) measures how cells scale across cores.
-//
-// BENCH_hotpath.json is written next to BENCH_sweep.json. When
-// BLAM_HOTPATH_BASELINE_S is set (wall seconds of the same scenario on a
-// reference engine build), the JSON also records the baseline and the
-// speedup against it, so the committed artifact carries both sides of a
-// before/after comparison.
+// sweep engine (BENCH_sweep.json) measures how cells scale across cores,
+// and BENCH_shard.json measures the sharded engine against this serial
+// baseline. BENCH_hotpath.json is written next to BENCH_sweep.json.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -74,16 +70,6 @@ int main() {
   std::printf("%-22s %12.2f\n", "wall seconds", r.wall_s);
   std::printf("%-22s %12.0f\n", "events/sec", events_per_s);
 
-  double baseline_s = 0.0;
-  if (const char* env = std::getenv("BLAM_HOTPATH_BASELINE_S"); env != nullptr) {
-    baseline_s = std::atof(env);
-  }
-  const double speedup = baseline_s > 0.0 && r.wall_s > 0.0 ? baseline_s / r.wall_s : 0.0;
-  if (baseline_s > 0.0) {
-    std::printf("%-22s %12.2f  (%.2fx vs this engine)\n", "baseline wall seconds", baseline_s,
-                speedup);
-  }
-
   namespace fs = std::filesystem;
   fs::path json_path{"BENCH_hotpath.json"};
   if (const char* dir = std::getenv("BLAM_OUT_DIR"); dir != nullptr && dir[0] != '\0') {
@@ -102,14 +88,11 @@ int main() {
                 "  \"packets_generated\": %llu,\n"
                 "  \"packets_delivered\": %llu,\n"
                 "  \"wall_s\": %.3f,\n"
-                "  \"events_per_s\": %.0f,\n"
-                "  \"baseline_wall_s\": %.3f,\n"
-                "  \"speedup_vs_baseline\": %.3f\n"
+                "  \"events_per_s\": %.0f\n"
                 "}\n",
                 nodes, days, static_cast<unsigned long long>(r.events),
                 static_cast<unsigned long long>(r.generated),
-                static_cast<unsigned long long>(r.delivered), r.wall_s, events_per_s,
-                baseline_s, speedup);
+                static_cast<unsigned long long>(r.delivered), r.wall_s, events_per_s);
   json << buf;
   json.flush();
   if (!json) {

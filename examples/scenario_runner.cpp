@@ -48,6 +48,11 @@ period_jitter = 0             # +/- fraction of the sampling period
 interference_tx_per_hour = 0  # foreign LoRa traffic
 packet_log = false            # per-packet event log (short runs only)
 ingest_batch = 1              # gateway ledger ingest watermark (any value, same bytes)
+shards = 1                    # collision-domain shards (any count, same bytes)
+interference_floor_dbm = -500 # audibility cutoff, must be <= -142.5 (SF12 sensitivity);
+                              # raising it toward -143 isolates cells for sharding
+gateway_grid_pitch_m = 0      # >0 = city grid layout (gateways on a square grid)
+cluster_radius_m = 0          # node scatter radius around the cell gateway
 
 # Fault injection (all off by default) + graceful-degradation knobs.
 fault_outage_daily_start_h = 0

@@ -321,6 +321,12 @@ void DegradationService::recompute(Time now) {
       max_degradation_ = std::max(max_degradation_, degradation_[h]);
     }
   }
+  // Fleet all-reduce: under the sharded engine the true D_max may live in
+  // another shard's service. The combiner blocks at the epoch barrier, so
+  // every shard normalizes by the same fleet-wide value.
+  if (combiner_ != nullptr) {
+    max_degradation_ = combiner_->combine_max_degradation(max_degradation_);
+  }
   for (std::size_t i = 0; i < ids_.size(); ++i) {
     const NodeHandle h = handles_by_id_[i];
     if (health_[h] == static_cast<std::uint8_t>(LedgerHealth::kQuarantined)) {

@@ -101,6 +101,18 @@ struct LedgerCounters {
   std::uint64_t recoveries{0};
 };
 
+/// All-reduce hook for D_max: when the fleet is split across shard-local
+/// DegradationService instances (sim/shard_engine.hpp), every shard's w_u
+/// must be normalized by the FLEET-wide maximum, not the local one. The
+/// combiner is called once per recompute between the local-max pass and the
+/// normalization pass; the serial engine leaves it unset.
+class FleetMaxCombiner {
+ public:
+  virtual ~FleetMaxCombiner() = default;
+  /// Receives this service's local D_max, returns the fleet-wide D_max.
+  [[nodiscard]] virtual double combine_max_degradation(double local_max) = 0;
+};
+
 class DegradationService {
  public:
   /// Serial-number window: a report sequence within this forward distance
@@ -145,6 +157,10 @@ class DegradationService {
 
   /// Processes every staged report in arrival order; returns the count.
   std::size_t drain_queue();
+
+  /// Attaches the fleet-wide D_max all-reduce (nullptr = local max only,
+  /// the serial engine's behavior).
+  void set_fleet_combiner(FleetMaxCombiner* combiner) { combiner_ = combiner; }
 
   /// Queue watermark for enqueue_report() (must be >= 1).
   void set_ingest_batch(std::size_t batch);
@@ -256,6 +272,7 @@ class DegradationService {
   std::vector<NodeHandle> handles_by_id_;
 
   double max_degradation_{0.0};
+  FleetMaxCombiner* combiner_{nullptr};
   LedgerCounters counters_;
 };
 

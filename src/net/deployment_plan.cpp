@@ -1,0 +1,135 @@
+#include "net/deployment_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numbers>
+
+#include "lora/airtime.hpp"
+#include "net/topology.hpp"
+
+namespace blam {
+
+Energy attempt_energy(const ScenarioConfig& config, SpreadingFactor sf) {
+  TxParams params;
+  params.sf = sf;
+  params.bandwidth_hz = 125e3;
+  params.payload_bytes = config.payload_bytes + 4;  // with SoC report
+  params.tx_power_dbm = config.tx_power_dbm;
+  params = params.with_auto_ldro();
+  const Energy listen =
+      config.radio.rx_power() * (config.timings.rx_window_duration * std::int64_t{2});
+  return tx_energy(params, config.radio) + listen;
+}
+
+DeploymentPlan plan_deployment(const ScenarioConfig& config, const Rng& root) {
+  Rng topo_rng = root.fork(0x7090);
+  Rng shadow_rng = root.fork(0x5ad0);
+  Rng traffic_rng = root.fork(0x7aff1c);
+
+  DeploymentPlan plan;
+  const Position center{0.0, 0.0};
+  std::vector<Position> positions;
+  if (config.gateway_grid_pitch_m > 0.0) {
+    // City layout: gateways on a grid, node i clustered around gateway
+    // (i mod G). Same two uniform draws per node as random_disk, so the
+    // whole deployment still consumes a fixed, shard-independent number of
+    // topo draws.
+    plan.gateway_positions = grid(config.n_gateways, config.gateway_grid_pitch_m, center);
+    positions.reserve(static_cast<std::size_t>(config.n_nodes));
+    for (int i = 0; i < config.n_nodes; ++i) {
+      const Position& gw =
+          plan.gateway_positions[static_cast<std::size_t>(i) % plan.gateway_positions.size()];
+      const double r = config.cluster_radius_m * std::sqrt(topo_rng.uniform());
+      const double angle = topo_rng.uniform(0.0, 2.0 * std::numbers::pi);
+      positions.push_back(Position{gw.x_m + r * std::cos(angle), gw.y_m + r * std::sin(angle)});
+    }
+  } else {
+    positions = random_disk(config.n_nodes, config.radius_m, center, topo_rng);
+    // Gateway placement: one in the centre, or several on a ring.
+    if (config.n_gateways == 1) {
+      plan.gateway_positions.push_back(center);
+    } else {
+      plan.gateway_positions =
+          ring(config.n_gateways, config.radius_m * config.gateway_ring_fraction, center);
+    }
+  }
+
+  // Per-node link budgets and SF assignment (against the BEST gateway).
+  plan.nodes.reserve(positions.size());
+  const std::int64_t min_period_min = static_cast<std::int64_t>(config.min_period.minutes());
+  const std::int64_t max_period_min = static_cast<std::int64_t>(config.max_period.minutes());
+  for (const Position& pos : positions) {
+    NodePlan node;
+    node.position = pos;
+    node.best_loss_db = 1e300;
+    for (const Position& gw : plan.gateway_positions) {
+      const Link link{pos, gw, config.path_loss, shadow_rng};
+      node.losses_db.push_back(link.total_loss_db());
+      node.best_loss_db = std::min(node.best_loss_db, link.total_loss_db());
+    }
+    node.sf = config.fixed_sf;
+    if (config.sf_assignment == SfAssignment::kDistanceBased) {
+      // NS-3 "SetSpreadingFactorsUp" against the strongest gateway:
+      // smallest SF that closes the uplink; nodes even SF12 cannot serve
+      // keep SF12 (they will underperform, as in NS-3).
+      const double rx_dbm = config.tx_power_dbm - node.best_loss_db;
+      node.sf = SpreadingFactor::kSF12;
+      for (SpreadingFactor sf : kAllSpreadingFactors) {
+        if (rx_dbm >= gateway_sensitivity_dbm(sf) + config.sf_margin_db) {
+          node.sf = sf;
+          break;
+        }
+      }
+    }
+    // Sampling period: whole minutes in [min, max], fixed per node; all
+    // nodes boot at t=0 (synchronized deployment), which gives the baseline
+    // its harmonic window-0 collisions.
+    node.period = Time::from_minutes(
+        static_cast<double>(traffic_rng.uniform_int(min_period_min, max_period_min)));
+    node.panel_scale = traffic_rng.uniform(config.panel_scale_min, config.panel_scale_max);
+    plan.nodes.push_back(std::move(node));
+  }
+
+  // Worst-case one-attempt energy across the network ("enough for two
+  // transmissions at peak", Sec. IV-A.1) and per-node battery sizing: sleep
+  // floor plus one attempt per sampling period for battery_days days.
+  plan.worst_attempt_energy = Energy::zero();
+  for (NodePlan& node : plan.nodes) {
+    const Energy per_attempt = attempt_energy(config, node.sf);
+    plan.worst_attempt_energy = std::max(plan.worst_attempt_energy, per_attempt);
+    const double packets_per_day = 86400.0 / node.period.seconds();
+    const Energy daily =
+        config.radio.sleep_power() * Time::from_days(1.0) + per_attempt * packets_per_day;
+    node.battery_capacity = daily * config.battery_days;
+  }
+  return plan;
+}
+
+std::shared_ptr<const SolarTrace> build_deployment_trace(const ScenarioConfig& config,
+                                                         Energy worst_attempt) {
+  SolarTraceConfig solar = config.solar;
+  if (!config.solar_peak_explicit) {
+    solar.peak = Power::from_watts(config.solar_tx_per_window * worst_attempt.joules() /
+                                   config.forecast_window.seconds());
+  }
+  // Weather follows the scenario seed, but an explicitly varied solar.seed
+  // still selects a different realization.
+  std::uint64_t weather_seed = config.seed ^ (config.solar.seed * 0x9e3779b97f4a7c15ULL);
+  solar.seed = splitmix64(weather_seed);
+  return std::make_shared<const SolarTrace>(solar);
+}
+
+std::size_t resolve_ingest_batch(const ScenarioConfig& config) {
+  std::size_t ingest_batch = config.ingest_batch;
+  if (const char* env = std::getenv("BLAM_INGEST_BATCH")) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      ingest_batch = static_cast<std::size_t>(parsed);
+    }
+  }
+  return ingest_batch;
+}
+
+}  // namespace blam

@@ -7,14 +7,14 @@
 
 #include "net/network.hpp"
 #include "net/scenario_io.hpp"
+#include "sim/shard_engine.hpp"
 
 namespace blam {
 namespace {
 
 // Recorded violations (throw_on_violation off) must still reach the user:
 // one stderr block per run, summary plus the first few structured records.
-void report_audit(const Network& network) {
-  const Auditor* audit = network.auditor();
+void report_audit(const Auditor* audit) {
   if (audit == nullptr || audit->violation_count() == 0) return;
   std::fprintf(stderr, "[audit] %s\n", audit->summary().c_str());
   constexpr std::size_t kShow = 5;
@@ -32,7 +32,10 @@ void report_audit(const Network& network) {
 ExperimentResult run_scenario(const ScenarioConfig& config, Time duration,
                               std::shared_ptr<const SolarTrace> shared_trace,
                               const CellToken* token) {
-  Network network{config, std::move(shared_trace)};
+  // ShardedNetwork delegates to the serial Network unless the scenario both
+  // asks for shards (config.shards / BLAM_SHARDS) and decomposes into more
+  // than one collision domain; either way the results are bit-identical.
+  ShardedNetwork network{config, std::move(shared_trace)};
   if (token != nullptr) {
     // Cancellation points: advance in slices and poll between them. Setting
     // the clock to an intermediate instant changes nothing about the event
@@ -49,7 +52,7 @@ ExperimentResult run_scenario(const ScenarioConfig& config, Time duration,
   }
   network.run_until(duration);
   network.finalize_metrics();
-  report_audit(network);
+  report_audit(network.auditor());
 
   ExperimentResult result;
   result.label = config.policy_label();
@@ -60,14 +63,14 @@ ExperimentResult run_scenario(const ScenarioConfig& config, Time duration,
   for (std::size_t i = 0; i < network.metrics().node_count(); ++i) {
     result.nodes.push_back(network.metrics().node(i));
   }
-  result.events_executed = network.simulator().events_executed();
+  result.events_executed = network.events_executed();
   return result;
 }
 
 LifespanResult run_until_eol(const ScenarioConfig& config, Time max_duration, Time step,
                              std::shared_ptr<const SolarTrace> shared_trace,
                              const CellToken* token) {
-  Network network{config, std::move(shared_trace)};
+  ShardedNetwork network{config, std::move(shared_trace)};
   const double eol = config.degradation.eol_threshold;
 
   LifespanResult result;
@@ -84,12 +87,12 @@ LifespanResult run_until_eol(const ScenarioConfig& config, Time max_duration, Ti
     if (max_deg >= eol) {
       result.reached_eol = true;
       result.lifespan = now;
-      report_audit(network);
+      report_audit(network.auditor());
       return result;
     }
   }
   result.lifespan = max_duration;
-  report_audit(network);
+  report_audit(network.auditor());
   return result;
 }
 

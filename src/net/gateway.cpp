@@ -45,6 +45,16 @@ void Gateway::on_uplink(Node& node, const UplinkFrame& frame, const TxParams& pa
     return;
   }
 
+  // Audibility floor: below it the packet neither decodes (it is under every
+  // SF's sensitivity — validate() enforces floor <= SF12 sensitivity) nor
+  // enters the interference tracker. This bounds the collision domain so the
+  // shard planner can split deployments exactly; the default floor is
+  // unreachable and leaves legacy results bit-identical.
+  if (rx_power_dbm < config_.interference_floor_dbm) {
+    ++gm.lost_under_sensitivity;
+    return;
+  }
+
   AirPacket packet;
   packet.id = next_packet_id_++;
   packet.start = now;

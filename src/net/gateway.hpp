@@ -43,6 +43,11 @@ class Gateway {
     double downlink_tx_dbm{27.0};
     /// RX1 downlink bandwidth (Hz).
     double rx1_bandwidth_hz{125e3};
+    /// Audibility floor: arrivals below this power are dropped before they
+    /// enter the interference tracker (counted as lost_under_sensitivity).
+    /// The default never triggers (> 500 dB of path loss); a finite floor
+    /// bounds the gateway's collision domain for the shard planner.
+    double interference_floor_dbm{-500.0};
   };
 
   Gateway(int id, Position position, Simulator& sim, NetworkServer& server, Metrics& metrics,

@@ -1,10 +1,9 @@
 #include "net/network.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <cstdlib>
+#include <utility>
 
-#include "net/topology.hpp"
+#include "net/deployment_plan.hpp"
 
 namespace blam {
 
@@ -20,96 +19,14 @@ Network::Network(const ScenarioConfig& config, std::shared_ptr<const SolarTrace>
 }
 
 void Network::build(std::shared_ptr<const SolarTrace> trace) {
-  Rng root{config_.seed, /*stream=*/0};
-  Rng topo_rng = root.fork(0x7090);
-  Rng shadow_rng = root.fork(0x5ad0);
-  Rng traffic_rng = root.fork(0x7aff1c);
-
-  const Position center{0.0, 0.0};
-  const std::vector<Position> positions =
-      random_disk(config_.n_nodes, config_.radius_m, center, topo_rng);
-
-  // Gateway placement: one in the centre, or several on a ring.
-  std::vector<Position> gateway_positions;
-  if (config_.n_gateways == 1) {
-    gateway_positions.push_back(center);
-  } else {
-    gateway_positions =
-        ring(config_.n_gateways, config_.radius_m * config_.gateway_ring_fraction, center);
-  }
-
-  // Per-node link budgets and SF assignment (against the BEST gateway).
-  struct Plan {
-    std::vector<double> losses_db;
-    double best_loss_db;
-    SpreadingFactor sf;
-    Time period;
-    double panel_scale;
-  };
-  std::vector<Plan> plans;
-  plans.reserve(positions.size());
-  const std::int64_t min_period_min = static_cast<std::int64_t>(config_.min_period.minutes());
-  const std::int64_t max_period_min = static_cast<std::int64_t>(config_.max_period.minutes());
-  for (const Position& pos : positions) {
-    Plan plan;
-    plan.best_loss_db = 1e300;
-    for (const Position& gw : gateway_positions) {
-      const Link link{pos, gw, config_.path_loss, shadow_rng};
-      plan.losses_db.push_back(link.total_loss_db());
-      plan.best_loss_db = std::min(plan.best_loss_db, link.total_loss_db());
-    }
-    plan.sf = config_.fixed_sf;
-    if (config_.sf_assignment == SfAssignment::kDistanceBased) {
-      // NS-3 "SetSpreadingFactorsUp" against the strongest gateway:
-      // smallest SF that closes the uplink; nodes even SF12 cannot serve
-      // keep SF12 (they will underperform, as in NS-3).
-      const double rx_dbm = config_.tx_power_dbm - plan.best_loss_db;
-      plan.sf = SpreadingFactor::kSF12;
-      for (SpreadingFactor sf : kAllSpreadingFactors) {
-        if (rx_dbm >= gateway_sensitivity_dbm(sf) + config_.sf_margin_db) {
-          plan.sf = sf;
-          break;
-        }
-      }
-    }
-    // Sampling period: whole minutes in [min, max], fixed per node; all
-    // nodes boot at t=0 (synchronized deployment), which gives the baseline
-    // its harmonic window-0 collisions.
-    plan.period =
-        Time::from_minutes(static_cast<double>(traffic_rng.uniform_int(min_period_min, max_period_min)));
-    plan.panel_scale = traffic_rng.uniform(config_.panel_scale_min, config_.panel_scale_max);
-    plans.push_back(std::move(plan));
-  }
-
-  // Worst-case one-attempt energy across the network: sizes the solar peak
-  // ("enough for two transmissions at peak", Sec. IV-A.1).
-  worst_attempt_energy_ = Energy::zero();
-  for (const Plan& p : plans) {
-    TxParams params;
-    params.sf = p.sf;
-    params.bandwidth_hz = 125e3;
-    params.payload_bytes = config_.payload_bytes + 4;  // with SoC report
-    params.tx_power_dbm = config_.tx_power_dbm;
-    params = params.with_auto_ldro();
-    const Energy listen =
-        config_.radio.rx_power() * (config_.timings.rx_window_duration * std::int64_t{2});
-    worst_attempt_energy_ =
-        std::max(worst_attempt_energy_, tx_energy(params, config_.radio) + listen);
-  }
+  const Rng root{config_.seed, /*stream=*/0};
+  DeploymentPlan deployment = plan_deployment(config_, root);
+  worst_attempt_energy_ = deployment.worst_attempt_energy;
 
   if (trace != nullptr) {
     trace_ = std::move(trace);
   } else {
-    SolarTraceConfig solar = config_.solar;
-    if (!config_.solar_peak_explicit) {
-      solar.peak = Power::from_watts(config_.solar_tx_per_window * worst_attempt_energy_.joules() /
-                                     config_.forecast_window.seconds());
-    }
-    // Weather follows the scenario seed, but an explicitly varied
-    // solar.seed still selects a different realization.
-    std::uint64_t weather_seed = config_.seed ^ (config_.solar.seed * 0x9e3779b97f4a7c15ULL);
-    solar.seed = splitmix64(weather_seed);
-    trace_ = std::make_shared<const SolarTrace>(solar);
+    trace_ = build_deployment_trace(config_, worst_attempt_energy_);
   }
 
   ThermalConfig thermal = config_.thermal;
@@ -124,15 +41,7 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
   // Ingestion-queue watermark: scenario knob, overridable from the
   // environment (the determinism CI leg regenerates figures at batch 1 and
   // 4096 and diffs the outputs — any batch size is bit-identical).
-  std::size_t ingest_batch = config_.ingest_batch;
-  if (const char* env = std::getenv("BLAM_INGEST_BATCH")) {
-    char* end = nullptr;
-    const long long parsed = std::strtoll(env, &end, 10);
-    if (end != env && *end == '\0' && parsed >= 1) {
-      ingest_batch = static_cast<std::size_t>(parsed);
-    }
-  }
-  server_->service().set_ingest_batch(ingest_batch);
+  server_->service().set_ingest_batch(resolve_ingest_batch(config_));
 
   // The auditor is observe-only (no RNG, no state mutation), so any level
   // yields bit-identical simulation results; it attaches before anything
@@ -165,9 +74,11 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
   gw.timings = config_.timings;
   gw.downlink_tx_dbm = config_.downlink_tx_dbm;
   gw.rx1_bandwidth_hz = config_.rx1_bandwidth_hz;
-  for (std::size_t g = 0; g < gateway_positions.size(); ++g) {
-    gateways_.push_back(std::make_unique<Gateway>(static_cast<int>(g), gateway_positions[g],
-                                                  sim_, *server_, metrics_, plan_, gw));
+  gw.interference_floor_dbm = config_.interference_floor_dbm;
+  for (std::size_t g = 0; g < deployment.gateway_positions.size(); ++g) {
+    gateways_.push_back(std::make_unique<Gateway>(static_cast<int>(g),
+                                                  deployment.gateway_positions[g], sim_, *server_,
+                                                  metrics_, plan_, gw));
     if (faults_ != nullptr) gateways_.back()->attach_fault_plan(faults_.get());
   }
 
@@ -178,33 +89,17 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
                                                        root.fork(0xa11e4));
   }
 
-  nodes_.reserve(plans.size());
-  for (std::size_t i = 0; i < plans.size(); ++i) {
-    const Plan& p = plans[i];
-
-    // Battery sized for `battery_days` days of operation without recharge
-    // (paper: 24 hours): sleep floor plus one attempt per sampling period.
-    TxParams params;
-    params.sf = p.sf;
-    params.bandwidth_hz = 125e3;
-    params.payload_bytes = config_.payload_bytes + 4;
-    params.tx_power_dbm = config_.tx_power_dbm;
-    params = params.with_auto_ldro();
-    const Energy listen =
-        config_.radio.rx_power() * (config_.timings.rx_window_duration * std::int64_t{2});
-    const Energy per_attempt = tx_energy(params, config_.radio) + listen;
-    const double packets_per_day = 86400.0 / p.period.seconds();
-    const Energy daily = config_.radio.sleep_power() * Time::from_days(1.0) +
-                         per_attempt * packets_per_day;
-    const Energy capacity = daily * config_.battery_days;
+  nodes_.reserve(deployment.nodes.size());
+  for (std::size_t i = 0; i < deployment.nodes.size(); ++i) {
+    NodePlan& p = deployment.nodes[i];
 
     Node::Init init;
     init.id = static_cast<std::uint32_t>(i);
-    init.position = positions[i];
+    init.position = p.position;
     init.period = p.period;
     init.sf = p.sf;
-    init.link_losses_db = p.losses_db;
-    init.battery_capacity = capacity;
+    init.link_losses_db = std::move(p.losses_db);
+    init.battery_capacity = p.battery_capacity;
     init.panel_scale = p.panel_scale;
 
     server_->register_node(init.id);

@@ -40,6 +40,9 @@ void ScenarioConfig::validate() const {
   };
   require_finite(radius_m, "radius_m");
   require_finite(gateway_ring_fraction, "gateway_ring_fraction");
+  require_finite(gateway_grid_pitch_m, "gateway_grid_pitch_m");
+  require_finite(cluster_radius_m, "cluster_radius_m");
+  require_finite(interference_floor_dbm, "interference_floor_dbm");
   require_finite(theta, "theta");
   require_finite(w_b, "w_b");
   require_finite(utility_lambda, "utility_lambda");
@@ -121,6 +124,26 @@ void ScenarioConfig::validate() const {
   }
   if (stale_feedback_k < 0.0) {
     throw std::invalid_argument{"ScenarioConfig: stale_feedback_k must be >= 0"};
+  }
+  if (gateway_grid_pitch_m < 0.0) {
+    throw std::invalid_argument{"ScenarioConfig: gateway_grid_pitch_m must be >= 0"};
+  }
+  if (cluster_radius_m < 0.0) {
+    throw std::invalid_argument{"ScenarioConfig: cluster_radius_m must be >= 0"};
+  }
+  if (gateway_grid_pitch_m > 0.0 && cluster_radius_m <= 0.0) {
+    throw std::invalid_argument{
+        "ScenarioConfig: grid layout (gateway_grid_pitch_m > 0) needs cluster_radius_m > 0"};
+  }
+  // Anything the floor drops would have been dropped by the SF12 sensitivity
+  // check anyway — a floor above that would change decode outcomes, not just
+  // interference bookkeeping.
+  if (interference_floor_dbm > gateway_sensitivity_dbm(SpreadingFactor::kSF12)) {
+    throw std::invalid_argument{
+        "ScenarioConfig: interference_floor_dbm must be <= the SF12 gateway sensitivity"};
+  }
+  if (shards < 0) {
+    throw std::invalid_argument{"ScenarioConfig: shards must be >= 0"};
   }
   faults.validate();
 }

@@ -58,6 +58,29 @@ struct ScenarioConfig {
   /// a ring at gateway_ring_fraction * radius_m ("one or more gateways").
   int n_gateways{1};
   double gateway_ring_fraction{0.5};
+  /// City-scale layout: > 0 places the gateways on a centred square grid
+  /// with this pitch instead of the centre/ring rule, and scatters each
+  /// node inside a disk of cluster_radius_m around gateway (i mod G). This
+  /// is the sharded-deployment topology — with a finite audibility floor
+  /// (below) the per-cell collision domains decouple exactly.
+  double gateway_grid_pitch_m{0.0};
+  double cluster_radius_m{0.0};
+  /// Gateway audibility floor: an uplink arriving below this power is
+  /// dropped before it enters the interference tracker (counted as
+  /// lost_under_sensitivity). The default is physically unreachable for
+  /// every committed scenario (> 500 dB of path loss), so results are
+  /// bit-identical to a build without the knob; a finite floor bounds each
+  /// gateway's collision domain so the shard planner can split the
+  /// deployment exactly. Must stay <= the SF12 gateway sensitivity.
+  double interference_floor_dbm{-500.0};
+
+  // --- Sharding -------------------------------------------------------------
+  /// Conservative time-windowed parallel engine: split the deployment into
+  /// this many collision-domain shards, each on its own worker thread (see
+  /// sim/shard_engine.hpp). 0/1 = the serial engine. Any value produces
+  /// bit-identical committed results; the BLAM_SHARDS environment variable
+  /// overrides it at build time (the determinism CI leg diffs 1 vs 4).
+  int shards{0};
 
   // --- Traffic ------------------------------------------------------------
   /// Sampling periods drawn uniformly from whole minutes in this range and

@@ -41,6 +41,12 @@ ScenarioConfig scenario_from_config(const ConfigFile& file) {
   c.radius_m = file.get_positive_double("radius_m", c.radius_m);
   c.n_gateways = static_cast<int>(file.get_int("gateways", c.n_gateways));
   c.gateway_ring_fraction = file.get_positive_double("gateway_ring_fraction", c.gateway_ring_fraction);
+  c.gateway_grid_pitch_m =
+      file.get_non_negative_double("gateway_grid_pitch_m", c.gateway_grid_pitch_m);
+  c.cluster_radius_m = file.get_non_negative_double("cluster_radius_m", c.cluster_radius_m);
+  c.interference_floor_dbm =
+      file.get_double("interference_floor_dbm", c.interference_floor_dbm);
+  c.shards = static_cast<int>(file.get_int("shards", c.shards));
 
   c.min_period =
       Time::from_minutes(file.get_positive_double("min_period_min", c.min_period.minutes()));
@@ -196,7 +202,12 @@ std::string describe_scenario(const ScenarioConfig& c) {
       << "policy             = " << c.policy_label() << " (theta " << c.theta << ", w_b " << c.w_b
       << ")\n"
       << "nodes / gateways   = " << c.n_nodes << " / " << c.n_gateways << " over "
-      << c.radius_m / 1000.0 << " km\n"
+      << c.radius_m / 1000.0 << " km"
+      << (c.gateway_grid_pitch_m > 0.0
+              ? " (grid pitch " + std::to_string(c.gateway_grid_pitch_m / 1000.0) + " km, cluster " +
+                    std::to_string(c.cluster_radius_m / 1000.0) + " km)"
+              : std::string{})
+      << "\n"
       << "period             = [" << c.min_period.minutes() << ", " << c.max_period.minutes()
       << "] min, window " << c.forecast_window.minutes() << " min\n"
       << "radio              = " << (c.sf_assignment == SfAssignment::kFixed

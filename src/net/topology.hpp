@@ -17,4 +17,9 @@ namespace blam {
 /// and ablations to give every node an identical link budget.
 [[nodiscard]] std::vector<Position> ring(int n, double radius_m, Position center);
 
+/// `n` positions on a centred square grid with `pitch_m` spacing, row-major
+/// from the south-west corner. Deterministic (no rng): the city-scale sharded
+/// deployments place one gateway per grid cell.
+[[nodiscard]] std::vector<Position> grid(int n, double pitch_m, Position center);
+
 }  // namespace blam

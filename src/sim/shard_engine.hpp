@@ -1,0 +1,184 @@
+// Conservative time-windowed parallel engine: the deployment is split into
+// collision-domain shards, each owning a private Simulator + EventQueue on a
+// worker thread, advancing in lockstep epochs of one dissemination period and
+// meeting at a barrier after every epoch.
+//
+// Why collision domains and not arbitrary geographic cells: the interference
+// tracker couples every transmission a gateway can hear at TX START time, so
+// two gateways that share even one audible node have zero lookahead between
+// them — no conservative window can split them without changing results. The
+// planner therefore folds gateways into domains (union-find over "some node
+// reaches both above the audibility floor") and only parallelizes across
+// domains, where the cross-shard lookahead is infinite for PHY traffic. The
+// one remaining coupling is the daily w_u dissemination: every shard's
+// DegradationService normalizes by the FLEET-wide D_max, reduced across
+// shards at the epoch barrier (FleetMaxCombiner hook).
+//
+// Invariant (CI-enforced): shards <= 1, or any configuration the planner
+// cannot split, delegates to the serial Network, and any shard count yields
+// committed results bit-identical to the serial engine — per-domain event
+// order is a projection of the serial order, node RNG streams are pure
+// per-node forks, and the D_max all-reduce reproduces the serial fleet max.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/deployment_plan.hpp"
+#include "net/network.hpp"
+
+namespace blam {
+
+/// BLAM_SHARDS environment override of ScenarioConfig::shards (>= 0; other
+/// values, like non-numeric text, are ignored).
+[[nodiscard]] int resolve_shards(int configured);
+
+/// Minimum cross-shard propagation latency: the earliest a transmission
+/// starting now could demand a response is its own time-on-air (shortest
+/// frame at the fastest assigned SF) plus the RX1 turnaround. Recomputed
+/// from the deployment's actual SF set — ADR is off in sharded runs, so the
+/// set is fixed at build time.
+[[nodiscard]] Time cross_shard_lookahead(const ScenarioConfig& config,
+                                         const DeploymentPlan& deployment);
+
+/// The shard planner's verdict for one deployment.
+struct ShardPlan {
+  int requested{1};
+  /// Worker count actually used (min(requested, domains); 1 when serial).
+  int effective{1};
+  /// True when the deployment must run on the serial engine.
+  bool serial{true};
+  /// Human-readable reason for the serial fallback (empty when sharded).
+  std::string serial_reason;
+  /// Collision domains found (0 when planning was skipped).
+  int domains{0};
+  /// Conservative lookahead bound for the epoch length (informational: the
+  /// epoch used is the dissemination period, the only cross-domain event).
+  Time lookahead{};
+  std::vector<int> domain_of_gateway;
+  std::vector<int> shard_of_gateway;
+  std::vector<int> shard_of_node;
+};
+
+/// Plans the shard decomposition. Serial fallbacks: requested <= 1, audit
+/// enabled (global event-order hooks), fault injection (shared plan streams),
+/// external interference, packet log, fast fading (per-gateway draws), or a
+/// single collision domain.
+[[nodiscard]] ShardPlan plan_shards(const ScenarioConfig& config,
+                                    const DeploymentPlan& deployment, int requested);
+
+/// Thrown inside peer shards when one shard fails: the barrier is poisoned,
+/// every blocked or arriving worker unwinds with this, and the original
+/// exception is rethrown from the lowest-index failed shard.
+class ShardAborted : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "shard aborted: a peer shard failed";
+  }
+};
+
+/// Rendezvous point for the epoch loop. Every shard performs the identical
+/// sequence of collective calls (reduce_max inside each dissemination tick,
+/// sync at each epoch end), so one generation counter serializes them all.
+/// Exposed for the tsan test.
+class ShardBarrier {
+ public:
+  explicit ShardBarrier(int parties);
+
+  /// Collective max-reduction: blocks until all parties contribute, returns
+  /// the maximum. Throws ShardAborted once poisoned.
+  [[nodiscard]] double reduce_max(double value);
+
+  /// Collective barrier with no payload. Throws ShardAborted once poisoned.
+  void sync();
+
+  /// Wakes every waiter and makes all current and future collective calls
+  /// throw ShardAborted. Idempotent.
+  void poison();
+
+  [[nodiscard]] int parties() const { return parties_; }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int parties_;
+  int arrived_{0};
+  std::uint64_t generation_{0};
+  double folding_max_{0.0};
+  double result_{0.0};
+  bool poisoned_{false};
+};
+
+/// Drop-in Network replacement that runs the deployment sharded when the
+/// planner allows it and delegates to the serial Network otherwise. The
+/// public surface mirrors the subset of Network that experiment.cpp and the
+/// figure binaries consume.
+class ShardedNetwork {
+ public:
+  explicit ShardedNetwork(const ScenarioConfig& config);
+  ShardedNetwork(const ScenarioConfig& config, std::shared_ptr<const SolarTrace> trace);
+  ~ShardedNetwork();
+
+  ShardedNetwork(const ShardedNetwork&) = delete;
+  ShardedNetwork& operator=(const ShardedNetwork&) = delete;
+
+  /// Advances every shard to `until` in lockstep epochs (serial mode: plain
+  /// Network::run_until). Safe to call repeatedly with increasing targets —
+  /// campaign slicing and run_until_eol stepping work unchanged.
+  void run_until(Time until);
+
+  /// Ground-truth maximum degradation across all shards' nodes.
+  [[nodiscard]] double max_degradation() const;
+
+  /// Finalizes per-shard metrics and merges them into one fleet view: node
+  /// rows keyed by global id, gateway counters field-summed plus the exact
+  /// compensation for uplink copies foreign shards never saw (each would
+  /// have arrived under the audibility floor: arrivals and
+  /// lost_under_sensitivity grow by tx_attempts x missing-gateway-count).
+  void finalize_metrics();
+
+  [[nodiscard]] const Metrics& metrics() const;
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] const ShardPlan& plan() const { return plan_; }
+  [[nodiscard]] bool serial() const { return plan_.serial; }
+  [[nodiscard]] const SolarTrace& solar_trace() const;
+  [[nodiscard]] std::shared_ptr<const SolarTrace> share_trace() const;
+  [[nodiscard]] const Auditor* auditor() const;
+  [[nodiscard]] int max_windows() const;
+  [[nodiscard]] std::uint64_t events_executed() const;
+  /// Latest disseminated w_u for a node (fleet-normalized in sharded mode).
+  [[nodiscard]] double w_for(std::uint32_t node_id) const;
+  /// Per-worker busy time (CPU seconds) accumulated across run_until calls;
+  /// the maximum over shards is the critical path, the scalability metric
+  /// the throughput bench reports on core-starved hosts.
+  [[nodiscard]] double max_shard_busy_seconds() const;
+
+ private:
+  struct Shard;
+  class FleetReducer;
+
+  void build_shards(const DeploymentPlan& deployment,
+                    std::shared_ptr<const SolarTrace> trace);
+  void worker_run(std::size_t shard_index, Time start, Time until);
+
+  ScenarioConfig config_;
+  ShardPlan plan_;
+  /// Serial fallback: the whole deployment on the proven engine.
+  std::unique_ptr<Network> network_;
+  /// Sharded state (empty in serial mode).
+  std::shared_ptr<const SolarTrace> trace_;
+  std::unique_ptr<FleetReducer> reducer_;
+  std::unique_ptr<ShardBarrier> barrier_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::exception_ptr> failures_;
+  Metrics merged_;
+  Time cursor_{};
+};
+
+}  // namespace blam

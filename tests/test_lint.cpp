@@ -200,6 +200,19 @@ TEST(LintH1, Pr7IngestFilesAreHotPath) {
   EXPECT_TRUE(active("src/core/degradation_service.cpp", "std::function<void()> f;").empty());
 }
 
+TEST(LintH1, ShardEngineUsesNarrowerBannedSet) {
+  // The PR-8 shard engine keeps the per-event bans (std::function, node
+  // containers, plain new/delete) but may own its shards through smart
+  // pointers — construction happens once per run, not per event.
+  EXPECT_EQ(count_rule(active("src/sim/shard_engine.cpp", "std::function<void()> f;"), "H1"), 1);
+  EXPECT_EQ(count_rule(active("src/sim/shard_engine.hpp", "std::map<int, int> m;"), "H1"), 1);
+  EXPECT_EQ(count_rule(active("src/sim/shard_engine.cpp", "int* p = new int[4];"), "H1"), 1);
+  EXPECT_TRUE(active("src/sim/shard_engine.cpp",
+                     "auto s = std::make_unique<int>(1);\n"
+                     "std::shared_ptr<int> t = std::make_shared<int>(2);\n")
+                  .empty());
+}
+
 // --- C1: CsvWriter must flush ---------------------------------------------
 
 TEST(LintC1, FlagsWriterThatNeverFlushes) {

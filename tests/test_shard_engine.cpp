@@ -1,0 +1,366 @@
+// Sharded engine: planner decomposition, serial fallbacks, the epoch
+// barrier, and — the load-bearing property — bit-identical results against
+// the serial Network at any shard count. Test names carry "ShardEngine" so
+// the CI tsan leg can select this file with a ctest regex.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "lora/tx_timing_cache.hpp"
+#include "sim/shard_engine.hpp"
+
+namespace blam {
+namespace {
+
+/// City layout that decomposes exactly: gateways on a 12 km grid, nodes
+/// clustered within 1 km of their cell's gateway, no shadowing. The nearest
+/// foreign gateway sits >= 11 km out (path loss >= 159.7 dB, rx <= -145.7
+/// dBm), below the -143 dBm audibility floor; in-cell links stay above
+/// -106.5 dBm. Every cell is its own collision domain.
+ScenarioConfig city(int nodes, int gateways, int shards, std::uint64_t seed = 21) {
+  ScenarioConfig c;
+  c.policy = PolicyKind::kBlam;
+  c.theta = 0.5;
+  c.n_nodes = nodes;
+  c.n_gateways = gateways;
+  c.gateway_grid_pitch_m = 12000.0;
+  c.cluster_radius_m = 1000.0;
+  c.interference_floor_dbm = -143.0;
+  c.sf_assignment = SfAssignment::kDistanceBased;
+  c.shards = shards;
+  c.seed = seed;
+  c.label = c.policy_label();
+  return c;
+}
+
+/// Hand-built deployment for planner unit tests: losses[i][g] in dB.
+DeploymentPlan make_deployment(std::vector<Position> gateways,
+                               std::vector<std::vector<double>> losses,
+                               SpreadingFactor sf = SpreadingFactor::kSF7) {
+  DeploymentPlan d;
+  d.gateway_positions = std::move(gateways);
+  for (auto& row : losses) {
+    NodePlan node;
+    node.losses_db = std::move(row);
+    node.best_loss_db = *std::min_element(node.losses_db.begin(), node.losses_db.end());
+    node.sf = sf;
+    node.period = Time::from_minutes(16.0);
+    node.battery_capacity = Energy::from_joules(100.0);
+    d.nodes.push_back(std::move(node));
+  }
+  return d;
+}
+
+void expect_identical(const Metrics& serial, const Metrics& sharded, std::size_t n_nodes) {
+  ASSERT_EQ(serial.node_count(), n_nodes);
+  ASSERT_EQ(sharded.node_count(), n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    SCOPED_TRACE(i);
+    const NodeMetrics& a = serial.node(i);
+    const NodeMetrics& b = sharded.node(i);
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.exhausted, b.exhausted);
+    EXPECT_EQ(a.policy_drops, b.policy_drops);
+    EXPECT_EQ(a.brownouts, b.brownouts);
+    EXPECT_EQ(a.duty_defers, b.duty_defers);
+    EXPECT_EQ(a.tx_attempts, b.tx_attempts);
+    EXPECT_EQ(a.retx, b.retx);
+    EXPECT_EQ(a.tx_energy.joules(), b.tx_energy.joules());
+    EXPECT_EQ(a.utility_sum, b.utility_sum);
+    EXPECT_EQ(a.latency_s.count(), b.latency_s.count());
+    EXPECT_EQ(a.latency_s.mean(), b.latency_s.mean());
+    EXPECT_EQ(a.delivered_latency_s.count(), b.delivered_latency_s.count());
+    EXPECT_EQ(a.delivered_latency_s.mean(), b.delivered_latency_s.mean());
+    EXPECT_EQ(a.window_counts, b.window_counts);
+    EXPECT_EQ(a.w_age_s.count(), b.w_age_s.count());
+    EXPECT_EQ(a.w_age_s.mean(), b.w_age_s.mean());
+    EXPECT_EQ(a.degradation, b.degradation);
+    EXPECT_EQ(a.cycle_linear, b.cycle_linear);
+    EXPECT_EQ(a.calendar_linear, b.calendar_linear);
+    EXPECT_EQ(a.mean_soc, b.mean_soc);
+    EXPECT_EQ(a.final_soc, b.final_soc);
+  }
+  const GatewayMetrics& ga = serial.gateway();
+  const GatewayMetrics& gb = sharded.gateway();
+  EXPECT_EQ(ga.arrivals, gb.arrivals);
+  EXPECT_EQ(ga.received, gb.received);
+  EXPECT_EQ(ga.lost_interference, gb.lost_interference);
+  EXPECT_EQ(ga.lost_half_duplex, gb.lost_half_duplex);
+  EXPECT_EQ(ga.lost_no_demod_path, gb.lost_no_demod_path);
+  EXPECT_EQ(ga.lost_under_sensitivity, gb.lost_under_sensitivity);
+  EXPECT_EQ(ga.acks_sent, gb.acks_sent);
+  EXPECT_EQ(ga.acks_rx2, gb.acks_rx2);
+  EXPECT_EQ(ga.acks_unschedulable, gb.acks_unschedulable);
+  EXPECT_EQ(ga.acks_undecodable, gb.acks_undecodable);
+  EXPECT_EQ(ga.duplicates, gb.duplicates);
+  EXPECT_EQ(ga.recomputes_skipped, gb.recomputes_skipped);
+  const LedgerCounters fa = serial.summarize().feedback;
+  const LedgerCounters fb = sharded.summarize().feedback;
+  EXPECT_EQ(fa.reports_accepted, fb.reports_accepted);
+  EXPECT_EQ(fa.reports_duplicate, fb.reports_duplicate);
+  EXPECT_EQ(fa.samples_rejected_nonmonotonic, fb.samples_rejected_nonmonotonic);
+  EXPECT_EQ(fa.gaps_bridged, fb.gaps_bridged);
+}
+
+TEST(ShardEnginePlanner, SingleGatewayIsOneDomain) {
+  const ScenarioConfig c = city(40, 1, 4);
+  const Rng root{c.seed, 0};
+  const ShardPlan plan = plan_shards(c, plan_deployment(c, root), 4);
+  EXPECT_TRUE(plan.serial);
+  EXPECT_EQ(plan.domains, 1);
+  EXPECT_EQ(plan.serial_reason, "single collision domain");
+}
+
+TEST(ShardEnginePlanner, DefaultFloorCouplesEverything) {
+  // The default -500 dBm floor makes every gateway audible to every node:
+  // one domain, serial fold — exactly why pre-existing scenarios cannot
+  // change behaviour under any BLAM_SHARDS value.
+  ScenarioConfig c = city(40, 4, 4);
+  c.interference_floor_dbm = -500.0;
+  const Rng root{c.seed, 0};
+  const ShardPlan plan = plan_shards(c, plan_deployment(c, root), 4);
+  EXPECT_TRUE(plan.serial);
+  EXPECT_EQ(plan.domains, 1);
+}
+
+TEST(ShardEnginePlanner, CityDecomposesIntoCells) {
+  const ScenarioConfig c = city(64, 4, 4);
+  const Rng root{c.seed, 0};
+  const DeploymentPlan deployment = plan_deployment(c, root);
+  const ShardPlan plan = plan_shards(c, deployment, 4);
+  ASSERT_FALSE(plan.serial);
+  EXPECT_EQ(plan.domains, 4);
+  EXPECT_EQ(plan.effective, 4);
+  // A node shares a shard with the gateways of its own domain.
+  for (std::size_t i = 0; i < deployment.nodes.size(); ++i) {
+    const int g = static_cast<int>(i % 4);
+    EXPECT_EQ(plan.shard_of_node[i], plan.shard_of_gateway[static_cast<std::size_t>(g)]);
+  }
+}
+
+TEST(ShardEnginePlanner, BoundaryNodeFoldsDomains) {
+  // Three isolated cells; one boundary node hears gateways 0 AND 1 above
+  // the floor, welding their cells into one domain. Gateway 2 stays alone.
+  ScenarioConfig c = city(4, 3, 4);
+  // Audibility at the -143 dBm floor and 14 dBm TX: loss <= 157 dB couples,
+  // loss >= 170 dB does not.
+  const auto deployment = make_deployment(
+      {{0.0, 0.0}, {12000.0, 0.0}, {24000.0, 0.0}},
+      {{120.0, 170.0, 180.0},     // node 0: only gw0 audible (rx -106 dBm)
+       {130.0, 135.0, 170.0},     // node 1: BOUNDARY, gw0 and gw1 audible
+       {170.0, 120.0, 180.0},     // node 2: only gw1
+       {180.0, 170.0, 120.0}});   // node 3: only gw2
+  const ShardPlan plan = plan_shards(c, deployment, 4);
+  ASSERT_FALSE(plan.serial);
+  EXPECT_EQ(plan.domains, 2);
+  EXPECT_EQ(plan.effective, 2);
+  EXPECT_EQ(plan.domain_of_gateway[0], plan.domain_of_gateway[1]);
+  EXPECT_NE(plan.domain_of_gateway[0], plan.domain_of_gateway[2]);
+  // The boundary node lands in the welded domain's shard.
+  EXPECT_EQ(plan.shard_of_node[1], plan.shard_of_gateway[0]);
+}
+
+TEST(ShardEnginePlanner, SerialFallbackConditions) {
+  const Rng root{21, 0};
+  {
+    ScenarioConfig c = city(16, 4, 4);
+    const ShardPlan plan = plan_shards(c, plan_deployment(c, root), 1);
+    EXPECT_TRUE(plan.serial);
+    EXPECT_EQ(plan.serial_reason, "shards <= 1 requested");
+  }
+  {
+    ScenarioConfig c = city(16, 4, 4);
+    c.faults.outage_random_per_day = 1.0;
+    EXPECT_TRUE(plan_shards(c, plan_deployment(c, root), 4).serial);
+  }
+  {
+    ScenarioConfig c = city(16, 4, 4);
+    c.interference.tx_per_hour = 10.0;
+    EXPECT_TRUE(plan_shards(c, plan_deployment(c, root), 4).serial);
+  }
+  {
+    ScenarioConfig c = city(16, 4, 4);
+    c.packet_log = true;
+    EXPECT_TRUE(plan_shards(c, plan_deployment(c, root), 4).serial);
+  }
+  {
+    ScenarioConfig c = city(16, 4, 4);
+    c.fast_fading = true;
+    EXPECT_TRUE(plan_shards(c, plan_deployment(c, root), 4).serial);
+  }
+  {
+    ScenarioConfig c = city(16, 4, 4);
+    c.adr_enabled = true;
+    EXPECT_TRUE(plan_shards(c, plan_deployment(c, root), 4).serial);
+  }
+}
+
+TEST(ShardEnginePlanner, ResolveShardsEnvOverride) {
+  ASSERT_EQ(setenv("BLAM_SHARDS", "8", 1), 0);
+  EXPECT_EQ(resolve_shards(2), 8);
+  ASSERT_EQ(setenv("BLAM_SHARDS", "0", 1), 0);
+  EXPECT_EQ(resolve_shards(2), 0);
+  ASSERT_EQ(setenv("BLAM_SHARDS", "nope", 1), 0);
+  EXPECT_EQ(resolve_shards(2), 2);
+  ASSERT_EQ(setenv("BLAM_SHARDS", "-3", 1), 0);
+  EXPECT_EQ(resolve_shards(2), 2);
+  ASSERT_EQ(unsetenv("BLAM_SHARDS"), 0);
+  EXPECT_EQ(resolve_shards(3), 3);
+}
+
+TEST(ShardEngineLookahead, TracksTheFastestAssignedSf) {
+  ScenarioConfig c = city(2, 1, 1);
+  TxTimingCache timing;
+  const auto toa = [&](SpreadingFactor sf) {
+    TxParams p;
+    p.sf = sf;
+    p.bandwidth_hz = 125e3;
+    p.payload_bytes = c.payload_bytes + 4;
+    p.tx_power_dbm = c.tx_power_dbm;
+    return timing.time_on_air(p.with_auto_ldro());
+  };
+  const auto slow = make_deployment({{0.0, 0.0}}, {{120.0}, {120.0}}, SpreadingFactor::kSF12);
+  EXPECT_EQ(cross_shard_lookahead(c, slow).us(),
+            (toa(SpreadingFactor::kSF12) + c.timings.rx1_delay).us());
+  // Adding one SF7 node shrinks the bound to the SF7 time-on-air.
+  auto mixed = make_deployment({{0.0, 0.0}}, {{120.0}, {120.0}}, SpreadingFactor::kSF12);
+  mixed.nodes[1].sf = SpreadingFactor::kSF7;
+  EXPECT_EQ(cross_shard_lookahead(c, mixed).us(),
+            (toa(SpreadingFactor::kSF7) + c.timings.rx1_delay).us());
+  EXPECT_LT(cross_shard_lookahead(c, mixed).us(), cross_shard_lookahead(c, slow).us());
+}
+
+TEST(ShardEngineIdentity, TwoShardsBitIdenticalToSerial) {
+  // The non-negotiable: a 4-cell city on 2 shards reproduces the serial
+  // engine bit for bit — every node row, the compensated gateway counters,
+  // the ledger counters, and the disseminated w_u values.
+  const ScenarioConfig c = city(48, 4, 2);
+  const Time duration = Time::from_days(2.0);
+
+  Network serial{c};
+  serial.run_until(duration);
+  serial.finalize_metrics();
+
+  ShardedNetwork sharded{c};
+  ASSERT_FALSE(sharded.serial());
+  EXPECT_EQ(sharded.plan().effective, 2);
+  // Split the run to prove repeated increasing targets (campaign slicing,
+  // run_until_eol stepping) hit the same epoch boundaries.
+  sharded.run_until(Time::from_days(0.7));
+  sharded.run_until(duration);
+  sharded.finalize_metrics();
+
+  expect_identical(serial.metrics(), sharded.metrics(), 48);
+  EXPECT_EQ(serial.max_degradation(), sharded.max_degradation());
+  for (std::uint32_t id = 0; id < 48; ++id) {
+    EXPECT_EQ(serial.server().w_for(id), sharded.w_for(id)) << "node " << id;
+  }
+}
+
+TEST(ShardEngineIdentity, FourShardsMatchTwoShards) {
+  const ScenarioConfig c = city(32, 4, 2);
+  const Time duration = Time::from_days(1.0);
+  ShardedNetwork two{c};
+  ScenarioConfig c4 = c;
+  c4.shards = 4;
+  ShardedNetwork four{c4};
+  ASSERT_FALSE(two.serial());
+  ASSERT_FALSE(four.serial());
+  two.run_until(duration);
+  four.run_until(duration);
+  two.finalize_metrics();
+  four.finalize_metrics();
+  expect_identical(two.metrics(), four.metrics(), 32);
+}
+
+TEST(ShardEngineIdentity, EventExactlyOnEpochBoundary) {
+  // Sampling period == dissemination period: every uplink lands exactly on
+  // an epoch boundary, together with the w_u recompute. The boundary event
+  // must execute inside the window it terminates, once, on every shard.
+  ScenarioConfig c = city(16, 4, 4);
+  c.min_period = Time::from_minutes(16.0);
+  c.max_period = Time::from_minutes(16.0);
+  c.dissemination_period = Time::from_minutes(16.0);
+  const Time duration = Time::from_hours(8.0);
+
+  Network serial{c};
+  serial.run_until(duration);
+  serial.finalize_metrics();
+
+  ShardedNetwork sharded{c};
+  ASSERT_FALSE(sharded.serial());
+  sharded.run_until(duration);
+  sharded.finalize_metrics();
+
+  expect_identical(serial.metrics(), sharded.metrics(), 16);
+  ASSERT_GT(serial.metrics().node(0).generated, 0u);
+}
+
+TEST(ShardEngineIdentity, SerialDelegateMatchesNetworkExactly) {
+  // shards=1 delegates to the serial engine wholesale: even
+  // events_executed (which sharded mode is allowed to change) must match.
+  const ScenarioConfig c = city(16, 4, 1);
+  const Time duration = Time::from_days(1.0);
+  Network plain{c};
+  plain.run_until(duration);
+  plain.finalize_metrics();
+  ShardedNetwork wrapped{c};
+  ASSERT_TRUE(wrapped.serial());
+  wrapped.run_until(duration);
+  wrapped.finalize_metrics();
+  expect_identical(plain.metrics(), wrapped.metrics(), 16);
+  EXPECT_EQ(plain.simulator().events_executed(), wrapped.events_executed());
+}
+
+TEST(ShardEngineBarrier, ReduceMaxAcrossGenerations) {
+  // tsan target: 4 threads, many reuse generations, every party must see
+  // the same per-round maximum.
+  constexpr int kParties = 4;
+  constexpr int kRounds = 500;
+  ShardBarrier barrier{kParties};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kParties);
+  for (int t = 0; t < kParties; ++t) {
+    threads.emplace_back([&barrier, &mismatches, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const double mine = static_cast<double>((t * 31 + round * 7) % 101);
+        const double expected = [round] {
+          double best = 0.0;
+          for (int p = 0; p < kParties; ++p) {
+            best = std::max(best, static_cast<double>((p * 31 + round * 7) % 101));
+          }
+          return best;
+        }();
+        if (barrier.reduce_max(mine) != expected) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ShardEngineBarrier, PoisonWakesWaitersAndPoisonsFutureCalls) {
+  ShardBarrier barrier{2};
+  std::atomic<bool> aborted{false};
+  std::thread waiter{[&barrier, &aborted] {
+    try {
+      (void)barrier.reduce_max(1.0);  // blocks: the peer never arrives
+    } catch (const ShardAborted&) {
+      aborted.store(true);
+    }
+  }};
+  barrier.poison();
+  waiter.join();
+  EXPECT_TRUE(aborted.load());
+  EXPECT_THROW((void)barrier.reduce_max(0.0), ShardAborted);
+  EXPECT_THROW(barrier.sync(), ShardAborted);
+}
+
+}  // namespace
+}  // namespace blam

@@ -369,6 +369,46 @@ void check_ingest(Checker& check, const JsonValue& root) {
   check.require_monotone_axis(root, "dirty_sweep", "dirty_fraction");
 }
 
+void check_shard(Checker& check, const JsonValue& root) {
+  check.require_number(root, "host_cores");
+  check.require(root, "metric_note", JsonValue::Kind::kString, "string");
+  check.require_true(root, "bit_identical");
+  const JsonValue* deployments =
+      check.require(root, "deployments", JsonValue::Kind::kArray, "array");
+  if (deployments == nullptr || deployments->array.empty()) {
+    if (deployments != nullptr) check.issue("array \"deployments\" must not be empty");
+    return;
+  }
+  for (std::size_t d = 0; d < deployments->array.size(); ++d) {
+    const JsonValue& dep = deployments->array[d];
+    const std::string where = "deployments[" + std::to_string(d) + "]";
+    if (find(dep, "name") == nullptr) check.issue(where + " lacks \"name\"");
+    for (const char* key : {"nodes", "gateways", "days"}) {
+      const JsonValue* v = find(dep, key);
+      if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+        check.issue(where + " lacks numeric \"" + key + "\"");
+      }
+    }
+    // Shard-count axis must be strictly increasing, serial (1) first.
+    check.require_monotone_axis(dep, "runs", "shards");
+    const JsonValue* runs = find(dep, "runs");
+    if (runs == nullptr || runs->kind != JsonValue::Kind::kArray) continue;
+    for (std::size_t r = 0; r < runs->array.size(); ++r) {
+      const JsonValue& run = runs->array[r];
+      for (const char* key :
+           {"shards", "effective_shards", "wall_s", "critical_path_s", "events_executed",
+            "events_per_s_wall", "events_per_s_critical_path", "speedup_vs_serial"}) {
+        const JsonValue* v = find(run, key);
+        if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+          check.issue(where + ".runs[" + std::to_string(r) + "] lacks numeric \"" + key + "\"");
+        } else if (v->number <= 0.0) {
+          check.issue(where + ".runs[" + std::to_string(r) + "]." + key + " must be positive");
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 JsonValue parse_json(std::string_view text) { return Parser{text}.parse(); }
@@ -394,6 +434,8 @@ std::vector<std::string> check_bench_json(const std::string& filename, std::stri
     check_fault(check, root);
   } else if (base == "BENCH_ingest.json") {
     check_ingest(check, root);
+  } else if (base == "BENCH_shard.json") {
+    check_shard(check, root);
   }
   // Unknown BENCH files pass on the generic contract checked above.
   return check.take();

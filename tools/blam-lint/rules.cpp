@@ -63,6 +63,16 @@ namespace {
                      [&path](std::string_view h) { return ends_with(path, h); });
 }
 
+/// PR-8 sharded engine: its per-epoch worker loop shares the event hot
+/// path, so std::function, node-based containers, and plain new/delete stay
+/// banned — but shard construction happens once per run and legitimately
+/// owns its parts through unique_ptr/shared_ptr factories, so the smart
+/// pointer bans of the strict hot-path set do not apply.
+[[nodiscard]] bool is_shard_engine(const std::string& path) {
+  return ends_with(path, "src/sim/shard_engine.hpp") ||
+         ends_with(path, "src/sim/shard_engine.cpp");
+}
+
 struct Ctx {
   const std::string& path;
   const std::vector<Token>& toks;
@@ -252,20 +262,30 @@ void rule_u1(const Ctx& ctx, std::vector<Finding>& out) {
 // zero-allocation event loop: std::function, plain new/delete, and
 // node-based std:: containers may not come back. Placement new (`new (`)
 // and `= delete` are legal; std::vector is allowed because the approved
-// pattern (pre-reserved slab + free list) is built on it.
+// pattern (pre-reserved slab + free list) is built on it. The PR-8 shard
+// engine is covered by a narrower set: setup-time smart pointers are fine,
+// per-event hazards are not.
 // ---------------------------------------------------------------------------
 
 void rule_h1(const Ctx& ctx, std::vector<Finding>& out) {
-  if (!is_hot_path(ctx.path)) return;
+  const bool shard_engine = is_shard_engine(ctx.path);
+  if (!shard_engine && !is_hot_path(ctx.path)) return;
   static constexpr std::array<std::string_view, 11> kBannedStd = {
       "function", "map",     "set",        "multimap",    "multiset",   "list",
       "deque",    "forward_list", "shared_ptr", "make_shared", "make_unique"};
+  // Shard-engine files keep the per-event bans but drop the smart-pointer
+  // ones (see is_shard_engine).
+  static constexpr std::array<std::string_view, 8> kBannedShard = {
+      "function", "map", "set", "multimap", "multiset", "list", "deque", "forward_list"};
+  const std::string_view* banned_begin = shard_engine ? kBannedShard.data() : kBannedStd.data();
+  const std::string_view* banned_end =
+      banned_begin + (shard_engine ? kBannedShard.size() : kBannedStd.size());
   const auto& toks = ctx.toks;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
     if (t.kind != TokKind::kIdentifier) continue;
     if (after_std_scope(toks, i) &&
-        std::find(kBannedStd.begin(), kBannedStd.end(), t.text) != kBannedStd.end()) {
+        std::find(banned_begin, banned_end, t.text) != banned_end) {
       add(out, "H1", ctx, t,
           "std::" + t.text + " in an event hot-path file; use InlineCallback / pre-reserved "
           "vectors / slot pools (see DESIGN.md sec. 9)");
