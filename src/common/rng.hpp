@@ -49,6 +49,28 @@ class Rng {
   /// Derives a child stream; deterministic in (this stream's seed, salt).
   [[nodiscard]] Rng fork(std::uint64_t salt) const;
 
+  /// Complete engine state, for engine checkpoints: the xoshiro words plus
+  /// the Box-Muller cache. Restoring it resumes the draw sequence exactly.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    std::uint64_t seed{0};
+    std::uint64_t stream{0};
+    double cached_normal{0.0};
+    bool has_cached_normal{false};
+  };
+
+  [[nodiscard]] State state() const {
+    return State{s_, seed_, stream_, cached_normal_, has_cached_normal_};
+  }
+
+  void restore(const State& state) {
+    s_ = state.s;
+    seed_ = state.seed;
+    stream_ = state.stream;
+    cached_normal_ = state.cached_normal;
+    has_cached_normal_ = state.has_cached_normal;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_{};
   std::uint64_t seed_{0};

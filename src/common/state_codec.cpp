@@ -1,0 +1,188 @@
+#include "common/state_codec.hpp"
+
+#include <bit>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace blam {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, const char* data, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::string hex16(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xfu];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_hex16(const std::string& text) {
+  if (text.size() != 16) throw std::runtime_error{"state codec: malformed hex16 '" + text + "'"};
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw std::runtime_error{"state codec: malformed hex16 '" + text + "'"};
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+StateWriter::StateWriter(std::ostream& out) : out_{out} {}
+
+void StateWriter::begin_section(const std::string& name) {
+  if (in_section_) throw std::logic_error{"StateWriter: nested section '" + name + "'"};
+  out_ << "section " << name << "\n";
+  hash_ = kFnvOffset;
+  in_section_ = true;
+}
+
+void StateWriter::end_section() {
+  if (!in_section_) throw std::logic_error{"StateWriter: end_section outside a section"};
+  out_ << "end " << hex16(hash_) << "\n";
+  in_section_ = false;
+}
+
+void StateWriter::emit(const std::string& line) {
+  if (!in_section_) throw std::logic_error{"StateWriter: value outside a section"};
+  hash_ = fnv1a(hash_, line.data(), line.size());
+  hash_ = fnv1a(hash_, "\n", 1);
+  out_ << line << "\n";
+}
+
+void StateWriter::put_u64(std::uint64_t value) { emit("u " + std::to_string(value)); }
+
+void StateWriter::put_i64(std::int64_t value) { emit("i " + std::to_string(value)); }
+
+void StateWriter::put_double(double value) {
+  emit("d " + hex16(std::bit_cast<std::uint64_t>(value)));
+}
+
+void StateWriter::put_string(const std::string& value) {
+  if (value.find('\n') != std::string::npos) {
+    throw std::logic_error{"StateWriter: string value contains a newline"};
+  }
+  emit("s " + value);
+}
+
+void StateWriter::put_blob(const std::string& bytes) {
+  emit("blob " + std::to_string(bytes.size()));
+  hash_ = fnv1a(hash_, bytes.data(), bytes.size());
+  hash_ = fnv1a(hash_, "\n", 1);
+  out_ << bytes << "\n";
+}
+
+StateReader::StateReader(std::istream& in) : in_{in} {}
+
+std::string StateReader::next_line() {
+  std::string line;
+  if (!std::getline(in_, line)) {
+    throw std::runtime_error{"state codec: unexpected end of checkpoint in section '" + section_ +
+                             "'"};
+  }
+  return line;
+}
+
+void StateReader::begin_section(const std::string& name) {
+  const std::string line = next_line();
+  if (line != "section " + name) {
+    throw std::runtime_error{"state codec: expected 'section " + name + "', got '" + line + "'"};
+  }
+  section_ = name;
+  hash_ = kFnvOffset;
+}
+
+void StateReader::end_section() {
+  const std::string line = next_line();
+  if (line.rfind("end ", 0) != 0) {
+    throw std::runtime_error{"state codec: expected section trailer in '" + section_ + "', got '" +
+                             line + "'"};
+  }
+  const std::uint64_t expected = parse_hex16(line.substr(4));
+  if (expected != hash_) {
+    throw std::runtime_error{"state codec: checksum mismatch in section '" + section_ +
+                             "' (corrupted or truncated checkpoint)"};
+  }
+  section_.clear();
+}
+
+std::string StateReader::expect(const char* tag) {
+  const std::string line = next_line();
+  hash_ = fnv1a(hash_, line.data(), line.size());
+  hash_ = fnv1a(hash_, "\n", 1);
+  const std::string prefix = std::string{tag} + " ";
+  if (line.rfind(prefix, 0) != 0) {
+    throw std::runtime_error{"state codec: expected '" + prefix + "...' in section '" + section_ +
+                             "', got '" + line + "'"};
+  }
+  return line.substr(prefix.size());
+}
+
+std::uint64_t StateReader::get_u64() {
+  const std::string text = expect("u");
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::runtime_error{"state codec: malformed u64 '" + text + "'"};
+  }
+  return value;
+}
+
+std::int64_t StateReader::get_i64() {
+  const std::string text = expect("i");
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::runtime_error{"state codec: malformed i64 '" + text + "'"};
+  }
+  return value;
+}
+
+double StateReader::get_double() {
+  return std::bit_cast<double>(parse_hex16(expect("d")));
+}
+
+std::string StateReader::get_string() { return expect("s"); }
+
+std::string StateReader::get_blob() {
+  const std::string header = expect("blob");
+  std::size_t size = 0;
+  const auto [ptr, ec] = std::from_chars(header.data(), header.data() + header.size(), size);
+  if (ec != std::errc{} || ptr != header.data() + header.size()) {
+    throw std::runtime_error{"state codec: malformed blob header '" + header + "'"};
+  }
+  std::string bytes(size, '\0');
+  if (size > 0) in_.read(bytes.data(), static_cast<std::streamsize>(size));
+  if (!in_ || static_cast<std::size_t>(in_.gcount()) != size) {
+    throw std::runtime_error{"state codec: truncated blob in section '" + section_ + "'"};
+  }
+  if (in_.get() != '\n') {
+    throw std::runtime_error{"state codec: blob missing terminator in section '" + section_ + "'"};
+  }
+  hash_ = fnv1a(hash_, bytes.data(), bytes.size());
+  hash_ = fnv1a(hash_, "\n", 1);
+  return bytes;
+}
+
+}  // namespace blam

@@ -1,0 +1,76 @@
+// Line-oriented "blamsim v1" checkpoint codec.
+//
+// A checkpoint is a sequence of named sections; inside a section every value
+// is one typed token line:
+//
+//   section <name>
+//   u 42                     (unsigned integer, decimal)
+//   i -7                     (signed integer, decimal)
+//   d 3ff0000000000000       (double, exact IEEE-754 bit pattern, hex16)
+//   s some text to eol       (string; no embedded newlines)
+//   blob 128                 (128 raw bytes follow, then a newline)
+//   end a1b2c3d4e5f60718     (FNV-1a 64 of every byte since `section`)
+//
+// Doubles travel as bit patterns, never as formatted decimals: restore is
+// bit-exact by construction, which is what lets a resumed run reproduce the
+// uninterrupted run's figure CSVs byte for byte. The per-section FNV trailer
+// turns a truncated or corrupted file (the expected failure mode after a
+// kill -9 mid-write, despite the tmp+rename discipline) into a loud
+// std::runtime_error naming the section instead of a silently wrong resume.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace blam {
+
+class StateWriter {
+ public:
+  explicit StateWriter(std::ostream& out);
+
+  void begin_section(const std::string& name);
+  /// Writes the FNV trailer and closes the current section.
+  void end_section();
+
+  void put_u64(std::uint64_t value);
+  void put_i64(std::int64_t value);
+  void put_double(double value);
+  /// `value` must not contain newlines.
+  void put_string(const std::string& value);
+  /// Raw byte payload (may contain anything, including newlines).
+  void put_blob(const std::string& bytes);
+
+ private:
+  void emit(const std::string& line);
+
+  std::ostream& out_;
+  std::uint64_t hash_{0};
+  bool in_section_{false};
+};
+
+class StateReader {
+ public:
+  explicit StateReader(std::istream& in);
+
+  /// Consumes `section <name>`; throws std::runtime_error on mismatch.
+  void begin_section(const std::string& name);
+  /// Consumes `end <fnv16hex>` and verifies the section hash.
+  void end_section();
+
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] std::int64_t get_i64();
+  [[nodiscard]] double get_double();
+  [[nodiscard]] std::string get_string();
+  [[nodiscard]] std::string get_blob();
+
+ private:
+  std::string next_line();
+  [[nodiscard]] std::string expect(const char* tag);
+
+  std::istream& in_;
+  std::uint64_t hash_{0};
+  std::string section_;
+};
+
+}  // namespace blam

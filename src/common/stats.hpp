@@ -31,6 +31,27 @@ class RunningStats {
   [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
   [[nodiscard]] double sum() const { return n_ > 0 ? mean_ * static_cast<double>(n_) : 0.0; }
 
+  /// Raw accumulator words, for engine checkpoints; restore_raw() is
+  /// bit-exact (the infinities of an empty accumulator round-trip through
+  /// the codec's hex bit patterns).
+  struct Raw {
+    std::size_t n{0};
+    double mean{0.0};
+    double m2{0.0};
+    double min{0.0};
+    double max{0.0};
+  };
+
+  [[nodiscard]] Raw raw() const { return Raw{n_, mean_, m2_, min_, max_}; }
+
+  void restore_raw(const Raw& raw) {
+    n_ = raw.n;
+    mean_ = raw.mean;
+    m2_ = raw.m2;
+    min_ = raw.min;
+    max_ = raw.max;
+  }
+
  private:
   std::size_t n_{0};
   double mean_{0.0};

@@ -364,10 +364,11 @@ double DegradationService::estimated_gap_seconds(std::uint32_t node_id) const {
   return estimated_gap_s_[handle_of(node_id)];
 }
 
-void DegradationService::checkpoint(std::ostream& out) const {
-  if (!queue_.empty()) {
-    throw std::logic_error{"DegradationService: drain_queue() before checkpoint()"};
-  }
+void DegradationService::checkpoint(std::ostream& out) {
+  // Staged reports are transport state, not ledger state: fold them into
+  // the ledger first. Draining here is batch-invariant (arrival order), so
+  // a checkpoint taken mid-batch reads exactly like one taken after it.
+  if (!queue_.empty()) drain_queue();
   // Line-oriented text, doubles as bit patterns, FNV-1a checksum trailer.
   std::ostringstream body;
   body << "blamledger v1 nodes " << ids_.size() << " maxdeg " << hex_double(max_degradation_)

@@ -204,10 +204,12 @@ class DegradationService {
 
   /// Serializes the complete ledger (trackers, health, reassembly buffers,
   /// counters, last recompute results) as line-oriented text with bit-exact
-  /// doubles and a trailing integrity checksum. The ingestion queue must be
-  /// drained first (throws std::logic_error otherwise): staged reports are
-  /// transport state, not ledger state.
-  void checkpoint(std::ostream& out) const;
+  /// doubles and a trailing integrity checksum. A non-empty ingestion queue
+  /// is drained first — drain order is arrival order regardless of when the
+  /// drain runs, so checkpointing mid-batch cannot change results. The
+  /// "blamledger v1" format is unchanged; pre-drain-era checkpoints restore
+  /// into this version and vice versa.
+  void checkpoint(std::ostream& out);
 
   /// Rebuilds the ledger from a checkpoint() stream, replacing all current
   /// state. The service must have been constructed with the same model and

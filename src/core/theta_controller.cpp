@@ -60,4 +60,24 @@ double ThetaController::theta(std::uint32_t node_id) const {
   return it != nodes_.end() ? it->second.theta : config_.initial;
 }
 
+std::vector<ThetaController::NodeSnapshot> ThetaController::snapshot() const {
+  std::vector<NodeSnapshot> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, state] : nodes_) {
+    out.push_back(NodeSnapshot{id, state.last_seq, state.has_seq, state.delivered, state.lost,
+                               state.theta});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NodeSnapshot& a, const NodeSnapshot& b) { return a.node_id < b.node_id; });
+  return out;
+}
+
+void ThetaController::restore(const std::vector<NodeSnapshot>& nodes) {
+  nodes_.clear();
+  for (const NodeSnapshot& snap : nodes) {
+    nodes_[snap.node_id] =
+        NodeState{snap.last_seq, snap.has_seq, snap.delivered, snap.lost, snap.theta};
+  }
+}
+
 }  // namespace blam

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 namespace blam {
 
@@ -48,6 +49,20 @@ class ThetaController {
   [[nodiscard]] double theta(std::uint32_t node_id) const;
 
   [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Per-node loop state for engine checkpoints, sorted by node id (the
+  /// live map is unordered; sorting makes the serialization canonical).
+  struct NodeSnapshot {
+    std::uint32_t node_id{0};
+    std::uint32_t last_seq{0};
+    bool has_seq{false};
+    std::uint64_t delivered{0};
+    std::uint64_t lost{0};
+    double theta{0.0};
+  };
+
+  [[nodiscard]] std::vector<NodeSnapshot> snapshot() const;
+  void restore(const std::vector<NodeSnapshot>& nodes);
 
  private:
   struct NodeState {

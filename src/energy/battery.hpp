@@ -53,6 +53,14 @@ class Battery {
   /// If the stored energy now exceeds the shrunken capacity it is clamped.
   void set_degradation(double degradation);
 
+  /// Checkpoint restore: assigns both words verbatim, bypassing the
+  /// monotonicity and clamp rules (the checkpointed pair already satisfied
+  /// them when it was captured).
+  void restore_raw(Energy stored, double degradation) {
+    stored_ = stored;
+    degradation_ = degradation;
+  }
+
  private:
   Energy original_capacity_;
   Energy stored_;

@@ -103,6 +103,9 @@ class Harvester {
   [[nodiscard]] double jitter() const { return jitter_; }
   [[nodiscard]] double panel_scale() const { return panel_scale_; }
 
+  /// Checkpoint restore: reinstates the jitter factor without an RNG draw.
+  void restore_jitter(double jitter) { jitter_ = jitter; }
+
   [[nodiscard]] Power power_at(Time t) const;
   [[nodiscard]] Energy energy_between(Time t0, Time t1) const;
 

@@ -34,6 +34,9 @@ class Supercap {
   /// Applies exponential self-discharge over `dt`.
   void leak(Time dt);
 
+  /// Checkpoint restore: assigns the stored energy verbatim.
+  void restore_stored(Energy stored) { stored_ = stored; }
+
  private:
   Energy capacity_;
   Energy stored_{};

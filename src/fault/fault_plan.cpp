@@ -207,6 +207,34 @@ bool FaultPlan::downlink_lost(int gateway_id, Time t) {
   return it->second.lost(t);
 }
 
+std::vector<std::pair<int, GilbertElliott::State>> FaultPlan::channel_states() const {
+  std::vector<std::pair<int, GilbertElliott::State>> out;
+  out.reserve(ack_channels_.size());
+  for (const auto& [gateway_id, chain] : ack_channels_) {
+    out.emplace_back(gateway_id, chain.state());
+  }
+  return out;
+}
+
+void FaultPlan::restore_channel_states(
+    const std::vector<std::pair<int, GilbertElliott::State>>& states) {
+  ack_channels_.clear();
+  GilbertElliott::Params params;
+  params.loss_good = config_.ack_loss_good;
+  params.loss_bad = config_.ack_loss_bad;
+  params.good_mean = config_.ack_good_mean;
+  params.bad_mean = config_.ack_bad_mean;
+  for (const auto& [gateway_id, state] : states) {
+    auto it = ack_channels_
+                  .emplace(gateway_id,
+                           GilbertElliott{params, base_.fork(kAckChannelSalt +
+                                                             static_cast<std::uint64_t>(
+                                                                 gateway_id))})
+                  .first;
+    it->second.restore(state);
+  }
+}
+
 Rng FaultPlan::crash_stream(std::uint32_t node_id) const {
   return base_.fork(kCrashSalt + (static_cast<std::uint64_t>(node_id) << 16));
 }

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -135,6 +136,19 @@ class FaultPlan {
   /// Exact harvested energy over [t0, t1] with the drought applied: the
   /// integral splits at the drought boundaries, each piece scaled.
   [[nodiscard]] Energy scaled_harvest(const Harvester& harvester, Time t0, Time t1) const;
+
+  // --- engine checkpoints ---------------------------------------------------
+  /// The plan's only state that cannot be regenerated from (config, seed)
+  /// on demand: the lazily-created per-gateway downlink burst chains, which
+  /// advance with every ACK query. The outage schedule is deliberately NOT
+  /// part of this — it is a pure function of (config, seed) and
+  /// rematerializes identically on the restored plan's first query.
+  [[nodiscard]] std::vector<std::pair<int, GilbertElliott::State>> channel_states() const;
+
+  /// Rebuilds the chain map from checkpointed states: each chain is
+  /// re-forked exactly as downlink_lost() would create it, then fast-
+  /// forwarded to its captured state.
+  void restore_channel_states(const std::vector<std::pair<int, GilbertElliott::State>>& states);
 
  private:
   struct Interval {

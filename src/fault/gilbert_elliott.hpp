@@ -40,6 +40,21 @@ class GilbertElliott {
   /// Long-run fraction of time spent in the bad state.
   [[nodiscard]] double bad_fraction() const;
 
+  /// Chain state for engine checkpoints (params are rebuilt from config).
+  struct State {
+    Rng::State rng{};
+    bool bad{false};
+    Time state_until{};
+  };
+
+  [[nodiscard]] State state() const { return State{rng_.state(), bad_, state_until_}; }
+
+  void restore(const State& state) {
+    rng_.restore(state.rng);
+    bad_ = state.bad;
+    state_until_ = state.state_until;
+  }
+
  private:
   void advance(Time now);
 

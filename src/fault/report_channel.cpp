@@ -99,6 +99,31 @@ void ReportFaultChannel::deliver(std::uint32_t node_id, std::uint16_t report_seq
   }
 }
 
+std::vector<ReportFaultChannel::LaneSnapshot> ReportFaultChannel::snapshot() const {
+  std::vector<LaneSnapshot> out;
+  out.reserve(lanes_.size());
+  for (const auto& [node_id, ln] : lanes_) {
+    out.push_back(
+        LaneSnapshot{node_id, ln.rng.state(), ln.holding, ln.held_seq, ln.held_crc,
+                     ln.held_samples});
+  }
+  return out;
+}
+
+void ReportFaultChannel::restore(const std::vector<LaneSnapshot>& lanes,
+                                 const ReportChannelCounters& counters) {
+  lanes_.clear();
+  for (const LaneSnapshot& snap : lanes) {
+    Lane& ln = lane(snap.node_id);  // seeds the rng from the plan's fork
+    ln.rng.restore(snap.rng);
+    ln.holding = snap.holding;
+    ln.held_seq = snap.held_seq;
+    ln.held_crc = snap.held_crc;
+    ln.held_samples = snap.held_samples;
+  }
+  counters_ = counters;
+}
+
 void ReportFaultChannel::flush(const Sink& sink) {
   for (auto& [node_id, ln] : lanes_) {
     if (!ln.holding) continue;

@@ -54,6 +54,20 @@ class ReportFaultChannel {
 
   [[nodiscard]] const ReportChannelCounters& counters() const { return counters_; }
 
+  /// Lane state for engine checkpoints (already sorted: lanes_ is an
+  /// ordered map).
+  struct LaneSnapshot {
+    std::uint32_t node_id{0};
+    Rng::State rng{};
+    bool holding{false};
+    std::uint16_t held_seq{0};
+    std::uint8_t held_crc{0};
+    std::vector<SocSample> held_samples;
+  };
+
+  [[nodiscard]] std::vector<LaneSnapshot> snapshot() const;
+  void restore(const std::vector<LaneSnapshot>& lanes, const ReportChannelCounters& counters);
+
  private:
   struct Lane {
     Rng rng;

@@ -30,6 +30,15 @@ class Ewma {
 
   [[nodiscard]] double beta() const { return beta_; }
 
+  /// Raw estimate word for engine checkpoints (value_or(0.0) conflates "no
+  /// observation yet" with a genuine 0 estimate; this does not).
+  [[nodiscard]] double raw_value() const { return value_; }
+
+  void restore(double value, bool initialized) {
+    value_ = value;
+    initialized_ = initialized;
+  }
+
  private:
   double beta_;
   double value_{0.0};

@@ -36,13 +36,17 @@ class RetxEstimator {
   [[nodiscard]] std::size_t max_windows() const { return counts_.size(); }
   [[nodiscard]] int max_retx() const { return max_retx_; }
 
- private:
   struct WindowStats {
     std::vector<std::uint64_t> retx_counts;  // I_{r,t}, r in [0, max_retx]
     std::uint64_t selections{0};             // S_t
     std::uint64_t retx_sum{0};
   };
 
+  /// Raw per-window counters, for engine checkpoints.
+  [[nodiscard]] const std::vector<WindowStats>& windows() const { return counts_; }
+  [[nodiscard]] std::vector<WindowStats>& windows_mutable() { return counts_; }
+
+ private:
   std::vector<WindowStats> counts_;
   int max_retx_;
 };

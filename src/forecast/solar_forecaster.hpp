@@ -36,6 +36,10 @@ class SolarForecaster {
 
   [[nodiscard]] double error_sigma() const { return error_sigma_; }
 
+  /// Noise-stream state for engine checkpoints.
+  [[nodiscard]] Rng::State rng_state() const { return rng_.state(); }
+  void restore_rng(const Rng::State& state) { rng_.restore(state); }
+
  private:
   const Harvester* harvester_;
   double error_sigma_;

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/units.hpp"
@@ -48,6 +49,19 @@ class InterferenceTracker {
   void prune(Time now);
 
   [[nodiscard]] std::size_t tracked() const { return packets_.size() - head_; }
+
+  /// Live packets in arrival order, for engine checkpoints.
+  [[nodiscard]] std::span<const AirPacket> live() const {
+    return {packets_.data() + head_, packets_.size() - head_};
+  }
+
+  /// Checkpoint restore: re-seeds the tracker with the checkpointed live
+  /// set, in arrival order (head_ resets to 0; survives() folds energy over
+  /// live entries only, so the compaction offset is invisible to results).
+  void restore_live(std::span<const AirPacket> packets) {
+    packets_.assign(packets.begin(), packets.end());
+    head_ = 0;
+  }
 
  private:
   // Packets ordered by start time (arrival order); live entries are

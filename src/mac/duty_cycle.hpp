@@ -27,6 +27,9 @@ class DutyCycleLimiter {
 
   [[nodiscard]] double max_duty() const { return max_duty_; }
 
+  /// Checkpoint restore: reinstates the armed T_off deadline.
+  void restore_next_allowed(Time at) { next_allowed_ = at; }
+
  private:
   double max_duty_;
   Time next_allowed_{Time::zero()};

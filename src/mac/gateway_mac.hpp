@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/units.hpp"
@@ -55,11 +56,24 @@ class AckPlanner {
   [[nodiscard]] double downlink_tx_dbm() const { return downlink_tx_dbm_; }
   [[nodiscard]] std::size_t reservations() const { return reservations_.size() - head_; }
 
- private:
   struct Interval {
     Time start;
     Time end;
   };
+
+  /// Live reservations in start order, for engine checkpoints.
+  [[nodiscard]] std::span<const Interval> live() const {
+    return {reservations_.data() + head_, reservations_.size() - head_};
+  }
+
+  /// Checkpoint restore: re-seeds the ledger (head_ resets to 0; conflict
+  /// queries scan live entries only, so the offset is invisible).
+  void restore_live(std::span<const Interval> intervals) {
+    reservations_.assign(intervals.begin(), intervals.end());
+    head_ = 0;
+  }
+
+ private:
 
   [[nodiscard]] bool conflicts(Time start, Time end) const;
   void reserve(Time start, Time end);

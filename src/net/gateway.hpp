@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -34,6 +35,8 @@ namespace blam {
 
 class FaultPlan;
 class Node;
+class StateReader;
+class StateWriter;
 
 class Gateway {
  public:
@@ -56,6 +59,13 @@ class Gateway {
   /// Attaches the fault-injection plan (nullptr = no faults). Mutable:
   /// the downlink loss channel consumes random draws.
   void attach_fault_plan(FaultPlan* faults) { faults_ = faults; }
+
+  /// Id used to key this gateway's fault streams (Gilbert-Elliott downlink
+  /// chain). Defaults to the constructor id; the sharded engine overrides it
+  /// with the GLOBAL gateway id so a shard-local gateway draws from the same
+  /// per-gateway chain as its serial twin.
+  void set_fault_gateway_id(int id) { fault_id_ = id; }
+  [[nodiscard]] int fault_gateway_id() const { return fault_id_; }
 
   /// Called by a node at the instant its transmission starts.
   /// `rx_power_dbm` is the power this uplink arrives with at THIS gateway.
@@ -83,6 +93,16 @@ class Gateway {
   /// (nodes query it on every confirmed attempt).
   [[nodiscard]] Time max_ack_end_delay() const { return max_ack_end_delay_; }
 
+  /// Serializes the gateway's dynamic state — interference tracker, ACK
+  /// ledger, in-flight receptions/ACKs with their pending events — into an
+  /// engine checkpoint (see sim/checkpoint.hpp).
+  void checkpoint_state(StateWriter& w) const;
+
+  /// Restores state captured by checkpoint_state into a freshly built
+  /// gateway whose event queue has been cleared. `node_by_id` resolves
+  /// GLOBAL node ids back to this slice's Node instances.
+  void restore_state(StateReader& r, const std::function<Node*(std::uint32_t)>& node_by_id);
+
  private:
   void finish_reception(std::uint32_t rx_slot);
   void deliver_ack(std::uint32_t ack_slot);
@@ -96,6 +116,9 @@ class Gateway {
     Node* node{nullptr};
     UplinkFrame frame;
     AirPacket packet;
+    /// The finish_reception event; a stale handle marks the slot free
+    /// (checkpoint liveness test).
+    EventHandle finish_event{};
   };
 
   /// ACK in flight between the downlink decision and its airtime end.
@@ -103,12 +126,15 @@ class Gateway {
     Node* node{nullptr};
     AckFrame ack;
     Time end;
+    /// The deliver_ack event; stale once the slot is recycled.
+    EventHandle deliver_event{};
   };
 
   [[nodiscard]] std::uint32_t acquire_rx_slot();
   [[nodiscard]] std::uint32_t acquire_ack_slot();
 
   int id_;
+  int fault_id_;
   Position position_;
   Simulator& sim_;
   NetworkServer& server_;

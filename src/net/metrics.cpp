@@ -49,6 +49,7 @@ NetworkSummary Metrics::summarize() const {
   }
   s.total_outage_s = total_outage_s_;
   s.feedback = feedback_;
+  s.serial_reason = serial_reason_;
   s.mean_recovery_s = recovery.mean();
   s.max_recovery_s = recovery.max();
   s.mean_w_age_s = w_age.mean();

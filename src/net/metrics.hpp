@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -144,6 +146,10 @@ struct NetworkSummary {
 
   /// Gateway feedback-ledger ingest decisions (all zero on a clean run).
   LedgerCounters feedback{};
+
+  /// Why a run requesting shards > 1 fell back to the serial engine
+  /// (empty when it actually sharded or never asked to).
+  std::string serial_reason;
 };
 
 class Metrics {
@@ -166,6 +172,12 @@ class Metrics {
   /// summary); set by Network::finalize_metrics.
   void set_feedback(const LedgerCounters& counters) { feedback_ = counters; }
 
+  /// Records why a shards > 1 request degraded to the serial engine; copied
+  /// into the summary so callers see the fallback without consulting the
+  /// ShardPlan. Set by ShardedNetwork at construction.
+  void set_serial_reason(std::string reason) { serial_reason_ = std::move(reason); }
+  [[nodiscard]] const std::string& serial_reason() const { return serial_reason_; }
+
   /// Histogram over majority-selected forecast windows (paper Fig. 4):
   /// result[w] = number of nodes whose majority window is w.
   [[nodiscard]] std::vector<int> majority_window_histogram(int n_windows) const;
@@ -175,6 +187,7 @@ class Metrics {
   GatewayMetrics gateway_;
   double total_outage_s_{0.0};
   LedgerCounters feedback_;
+  std::string serial_reason_;
 };
 
 }  // namespace blam

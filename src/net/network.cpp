@@ -1,9 +1,11 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 #include "net/deployment_plan.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace blam {
 
@@ -147,6 +149,48 @@ void Network::finalize_metrics() {
     gw.reports_corrupted_fault = rc->corrupted;
     gw.reports_truncated_fault = rc->truncated;
   }
+}
+
+void Network::assert_checkpointable() const {
+  // Each of these carries state (RNG draws, pending events, or history) the
+  // "blamsim v1" checkpoint does not cover; resuming such a run would
+  // silently diverge, so refuse loudly instead.
+  if (audit_ != nullptr) {
+    throw std::runtime_error{"checkpoint: auditor state is not serialized (disable BLAM_AUDIT)"};
+  }
+  if (packet_log_ != nullptr) {
+    throw std::runtime_error{"checkpoint: packet log is not serialized"};
+  }
+  if (interferer_ != nullptr) {
+    throw std::runtime_error{"checkpoint: external interferer is not serialized"};
+  }
+  if (config_.adr_enabled) {
+    throw std::runtime_error{"checkpoint: server ADR history is not serialized"};
+  }
+}
+
+void Network::checkpoint_state(StateWriter& w) {
+  assert_checkpointable();
+  EngineSlice slice;
+  slice.sim = &sim_;
+  slice.server = server_.get();
+  slice.gateways = &gateways_;
+  slice.nodes = &nodes_;
+  slice.gateway_metrics = &metrics_.gateway();
+  slice.faults = faults_.get();
+  checkpoint_slice(w, slice);
+}
+
+void Network::restore_state(StateReader& r) {
+  assert_checkpointable();
+  EngineSlice slice;
+  slice.sim = &sim_;
+  slice.server = server_.get();
+  slice.gateways = &gateways_;
+  slice.nodes = &nodes_;
+  slice.gateway_metrics = &metrics_.gateway();
+  slice.faults = faults_.get();
+  restore_slice(r, slice);
 }
 
 int Network::max_windows() const {

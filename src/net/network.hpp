@@ -64,7 +64,19 @@ class Network {
   /// Maximum forecast-window count across nodes (Fig. 4 histogram width).
   [[nodiscard]] int max_windows() const;
 
+  /// Serializes the whole engine slice (clock + server + gateways + nodes +
+  /// fault channels) at a quiescent instant — call only between run_until
+  /// calls. Throws std::runtime_error for configurations with unserialized
+  /// components (audit, packet log, external interferer, server ADR).
+  void checkpoint_state(StateWriter& w);
+
+  /// Restores a checkpoint written by checkpoint_state into this freshly
+  /// built network (same ScenarioConfig, not yet run).
+  void restore_state(StateReader& r);
+
  private:
+  /// Throws if any configured feature is outside the checkpoint's coverage.
+  void assert_checkpointable() const;
   void build(std::shared_ptr<const SolarTrace> trace);
 
   ScenarioConfig config_;

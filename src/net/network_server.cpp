@@ -1,10 +1,14 @@
 #include "net/network_server.hpp"
 
+#include <sstream>
+#include <stdexcept>
+
 #include "audit/audit.hpp"
 #include "fault/fault_plan.hpp"
 #include "mac/adr.hpp"
 #include "net/gateway.hpp"
 #include "net/node.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace blam {
 
@@ -94,7 +98,7 @@ void NetworkServer::on_gateway_receive(Gateway& gateway, Node& node, const Uplin
   if (inserted) {
     // All copies end at the same instant (same airtime); 1 ms collects them
     // all while staying far inside the RX1 delay.
-    sim_.schedule_in(Time::from_ms(1), [this, slot] { decide(slot); });
+    pending.decide_event = sim_.schedule_in(Time::from_ms(1), [this, slot] { decide(slot); });
   }
 }
 
@@ -171,6 +175,165 @@ bool NetworkServer::on_uplink(const UplinkFrame& frame) {
 double NetworkServer::w_for(std::uint32_t node_id) const {
   if (recomputes_ == 0) return 0.0;
   return service_.normalized_degradation(node_id);
+}
+
+void NetworkServer::checkpoint_state(StateWriter& w) {
+  w.begin_section("server");
+  w.put_u64(last_seq_.size());
+  for (std::int64_t seq : last_seq_) w.put_i64(seq);
+  w.put_u64(recomputes_);
+  write_event(w, sim_, recompute_process_->pending_handle());
+
+  w.put_u64(theta_.has_value() ? 1 : 0);
+  if (theta_.has_value()) {
+    const auto nodes = theta_->snapshot();
+    w.put_u64(nodes.size());
+    for (const ThetaController::NodeSnapshot& node : nodes) {
+      w.put_u64(node.node_id);
+      w.put_u64(node.last_seq);
+      w.put_u64(node.has_seq ? 1 : 0);
+      w.put_u64(node.delivered);
+      w.put_u64(node.lost);
+      w.put_double(node.theta);
+    }
+  }
+
+  w.put_u64(report_faults_.has_value() ? 1 : 0);
+  if (report_faults_.has_value()) {
+    const auto lanes = report_faults_->snapshot();
+    w.put_u64(lanes.size());
+    for (const ReportFaultChannel::LaneSnapshot& lane : lanes) {
+      w.put_u64(lane.node_id);
+      write_rng(w, lane.rng);
+      w.put_u64(lane.holding ? 1 : 0);
+      w.put_u64(lane.held_seq);
+      w.put_u64(lane.held_crc);
+      w.put_u64(lane.held_samples.size());
+      for (const SocSample& sample : lane.held_samples) {
+        write_time(w, sample.t);
+        w.put_double(sample.soc);
+      }
+    }
+    const ReportChannelCounters& c = report_faults_->counters();
+    w.put_u64(c.delivered);
+    w.put_u64(c.dropped);
+    w.put_u64(c.duplicated);
+    w.put_u64(c.reordered);
+    w.put_u64(c.corrupted);
+    w.put_u64(c.truncated);
+  }
+
+  // The ledger has its own checkpoint format ("blamledger v1", integrity
+  // trailer included); it rides along as an opaque blob.
+  std::ostringstream ledger;
+  service_.checkpoint(ledger);
+  w.put_blob(ledger.str());
+
+  w.put_u64(pending_live_.size());
+  for (const auto& [key, slot] : pending_live_) {
+    const PendingFrame& pending = pending_pool_[slot];
+    w.put_u64(key);
+    w.put_i64(pending.gateway->id());
+    w.put_u64(pending.node->id());
+    write_uplink_frame(w, pending.frame);
+    w.put_double(pending.best_rx_dbm);
+    write_time(w, pending.uplink_end);
+    w.put_u64(static_cast<std::uint64_t>(pending.sf));
+    w.put_i64(pending.channel);
+    write_event(w, sim_, pending.decide_event);
+  }
+  w.end_section();
+}
+
+void NetworkServer::restore_state(StateReader& r,
+                                  const std::vector<std::unique_ptr<Gateway>>& gateways,
+                                  const std::function<Node*(std::uint32_t)>& node_by_id) {
+  r.begin_section("server");
+  last_seq_.assign(r.get_u64(), -1);
+  for (std::int64_t& seq : last_seq_) seq = r.get_i64();
+  recomputes_ = r.get_u64();
+  if (const auto e = read_event(r)) recompute_process_->restore_arm(e->time, e->seq);
+
+  const bool has_theta = r.get_u64() != 0;
+  if (has_theta != theta_.has_value()) {
+    throw std::runtime_error{"NetworkServer::restore_state: theta controller mismatch"};
+  }
+  if (has_theta) {
+    std::vector<ThetaController::NodeSnapshot> nodes(r.get_u64());
+    for (ThetaController::NodeSnapshot& node : nodes) {
+      node.node_id = static_cast<std::uint32_t>(r.get_u64());
+      node.last_seq = static_cast<std::uint32_t>(r.get_u64());
+      node.has_seq = r.get_u64() != 0;
+      node.delivered = r.get_u64();
+      node.lost = r.get_u64();
+      node.theta = r.get_double();
+    }
+    theta_->restore(nodes);
+  }
+
+  const bool has_report_faults = r.get_u64() != 0;
+  if (has_report_faults != report_faults_.has_value()) {
+    throw std::runtime_error{"NetworkServer::restore_state: report fault channel mismatch"};
+  }
+  if (has_report_faults) {
+    std::vector<ReportFaultChannel::LaneSnapshot> lanes(r.get_u64());
+    for (ReportFaultChannel::LaneSnapshot& lane : lanes) {
+      lane.node_id = static_cast<std::uint32_t>(r.get_u64());
+      lane.rng = read_rng(r);
+      lane.holding = r.get_u64() != 0;
+      lane.held_seq = static_cast<std::uint16_t>(r.get_u64());
+      lane.held_crc = static_cast<std::uint8_t>(r.get_u64());
+      lane.held_samples.resize(r.get_u64());
+      for (SocSample& sample : lane.held_samples) {
+        sample.t = read_time(r);
+        sample.soc = r.get_double();
+      }
+    }
+    ReportChannelCounters counters;
+    counters.delivered = r.get_u64();
+    counters.dropped = r.get_u64();
+    counters.duplicated = r.get_u64();
+    counters.reordered = r.get_u64();
+    counters.corrupted = r.get_u64();
+    counters.truncated = r.get_u64();
+    report_faults_->restore(lanes, counters);
+  }
+
+  std::istringstream ledger{r.get_blob()};
+  service_.restore(ledger);
+
+  pending_pool_.clear();
+  pending_free_.clear();
+  pending_live_.clear();
+  const std::uint64_t n_pending = r.get_u64();
+  for (std::uint64_t i = 0; i < n_pending; ++i) {
+    const std::uint64_t key = r.get_u64();
+    const std::uint32_t slot = acquire_pending_slot();
+    pending_live_.emplace_back(key, slot);
+    PendingFrame& pending = pending_pool_[slot];
+    pending.live = true;
+    const std::int64_t gateway_id = r.get_i64();
+    pending.gateway = nullptr;
+    for (const auto& gateway : gateways) {
+      if (gateway->id() == gateway_id) {
+        pending.gateway = gateway.get();
+        break;
+      }
+    }
+    if (pending.gateway == nullptr) {
+      throw std::runtime_error{"NetworkServer::restore_state: unknown downlink gateway"};
+    }
+    pending.node = node_by_id(static_cast<std::uint32_t>(r.get_u64()));
+    read_uplink_frame(r, pending.frame);
+    pending.best_rx_dbm = r.get_double();
+    pending.uplink_end = read_time(r);
+    pending.sf = static_cast<SpreadingFactor>(r.get_u64());
+    pending.channel = static_cast<int>(r.get_i64());
+    if (const auto e = read_event(r)) {
+      pending.decide_event = sim_.schedule_at_seq(e->time, e->seq, [this, slot] { decide(slot); });
+    }
+  }
+  r.end_section();
 }
 
 void NetworkServer::recompute() {

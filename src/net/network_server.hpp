@@ -30,6 +30,8 @@ namespace blam {
 class Auditor;
 class Gateway;
 class Node;
+class StateReader;
+class StateWriter;
 
 class NetworkServer {
  public:
@@ -102,6 +104,19 @@ class NetworkServer {
     return report_faults_.has_value() ? &report_faults_->counters() : nullptr;
   }
 
+  /// Serializes the server — dedup table, dissemination loop, theta/report
+  /// channels, the degradation ledger, and every aggregating frame — into an
+  /// engine checkpoint (see sim/checkpoint.hpp). Non-const: the ledger's
+  /// checkpoint drains its staged ingest queue first.
+  void checkpoint_state(StateWriter& w);
+
+  /// Restores state captured by checkpoint_state into a freshly built server
+  /// whose event queue has been cleared. `gateways` is the slice's gateway
+  /// vector (frames store the downlink gateway as an index into it);
+  /// `node_by_id` resolves GLOBAL node ids to this slice's Node instances.
+  void restore_state(StateReader& r, const std::vector<std::unique_ptr<Gateway>>& gateways,
+                     const std::function<Node*(std::uint32_t)>& node_by_id);
+
  private:
   /// Copies of one uplink collected across gateways for 1 ms. Instances
   /// live in a recycled slot pool: the decide() callback captures only
@@ -116,6 +131,9 @@ class NetworkServer {
     SpreadingFactor sf{SpreadingFactor::kSF10};
     int channel{0};
     bool live{false};
+    /// The decide() event; checkpointed with the frame so a restored run
+    /// resolves the aggregation at the original instant and seq.
+    EventHandle decide_event{};
   };
 
   void recompute();

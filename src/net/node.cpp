@@ -5,7 +5,9 @@
 #include <cmath>
 
 #include "audit/audit.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/gateway.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace blam {
 
@@ -69,14 +71,14 @@ void Node::attach_fault_plan(const FaultPlan* faults) {
 
 void Node::start() {
   record_soc(Time::zero());
-  sim_->schedule_at(Time::zero(), [this] { on_period_start(); });
+  period_event_ = sim_->schedule_at(Time::zero(), [this] { on_period_start(); });
   if (crash_rng_.has_value()) schedule_next_crash();
 }
 
 void Node::schedule_next_crash() {
   const double mean_days = 365.25 / faults_->config().crash_per_year;
   const Time gap = Time::from_days(crash_rng_->exponential(mean_days));
-  sim_->schedule_in(gap, [this] { on_crash(); });
+  crash_event_ = sim_->schedule_in(gap, [this] { on_crash(); });
 }
 
 void Node::on_crash() {
@@ -195,7 +197,7 @@ void Node::on_period_start() {
   if (config_->period_jitter > 0.0) {
     next = next * (1.0 + rng_.uniform(-config_->period_jitter, config_->period_jitter));
   }
-  sim_->schedule_at(now + next, [this] { on_period_start(); });
+  period_event_ = sim_->schedule_at(now + next, [this] { on_period_start(); });
 
   account_to(now);
   // A previous packet's attempt may have pre-accounted energy past this
@@ -306,7 +308,7 @@ void Node::on_period_start() {
     }
   }
   const Time tx_at = now + window * std::int64_t{decision.window} + offset;
-  sim_->schedule_at(tx_at, [this] { start_attempt(); });
+  window_tx_ = sim_->schedule_at(tx_at, [this] { start_attempt(); });
 }
 
 const UplinkFrame& Node::build_frame() {
@@ -501,6 +503,256 @@ void Node::apply_adr(const AdrCommand& command) {
   tx_params_ = tx_params_.with_auto_ldro();
   single_attempt_energy_ = attempt_demand(tx_params_);
   max_packet_energy_ = single_attempt_energy_ * config_->timings.max_transmissions;
+}
+
+namespace {
+
+void write_tracker(StateWriter& w, const DegradationTracker::Snapshot& s) {
+  w.put_u64(s.rainflow.stack.size());
+  for (double soc : s.rainflow.stack) w.put_double(soc);
+  w.put_double(s.rainflow.last);
+  w.put_double(s.rainflow.prev_direction);
+  w.put_u64(s.rainflow.has_last ? 1 : 0);
+  w.put_u64(s.rainflow.full_cycles);
+  w.put_double(s.closed_cycle_sum);
+  write_time(w, s.last_time);
+  w.put_double(s.last_soc);
+  w.put_u64(s.has_sample ? 1 : 0);
+  w.put_double(s.soc_time_integral);
+  w.put_double(s.stress_time_integral);
+  write_time(w, s.stress_integrated_to);
+  w.put_double(s.temperature_c);
+  w.put_u64(s.discontinuities);
+}
+
+DegradationTracker::Snapshot read_tracker(StateReader& r) {
+  DegradationTracker::Snapshot s;
+  s.rainflow.stack.resize(r.get_u64());
+  for (double& soc : s.rainflow.stack) soc = r.get_double();
+  s.rainflow.last = r.get_double();
+  s.rainflow.prev_direction = r.get_double();
+  s.rainflow.has_last = r.get_u64() != 0;
+  s.rainflow.full_cycles = r.get_u64();
+  s.closed_cycle_sum = r.get_double();
+  s.last_time = read_time(r);
+  s.last_soc = r.get_double();
+  s.has_sample = r.get_u64() != 0;
+  s.soc_time_integral = r.get_double();
+  s.stress_time_integral = r.get_double();
+  s.stress_integrated_to = read_time(r);
+  s.temperature_c = r.get_double();
+  s.discontinuities = r.get_u64();
+  return s;
+}
+
+void write_sample(StateWriter& w, const SocSample& s) {
+  write_time(w, s.t);
+  w.put_double(s.soc);
+}
+
+SocSample read_sample(StateReader& r) {
+  SocSample s;
+  s.t = read_time(r);
+  s.soc = r.get_double();
+  return s;
+}
+
+}  // namespace
+
+void Node::checkpoint_state(StateWriter& w) const {
+  w.begin_section("node");
+  w.put_u64(id_);
+  w.put_u64(static_cast<std::uint64_t>(tx_params_.sf));
+  w.put_double(tx_params_.tx_power_dbm);
+
+  write_rng(w, rng_.state());
+  w.put_u64(crash_rng_.has_value() ? 1 : 0);
+  if (crash_rng_.has_value()) write_rng(w, crash_rng_->state());
+  write_rng(w, forecaster_.rng_state());
+
+  write_energy(w, battery_.stored());
+  w.put_double(battery_.degradation());
+  w.put_u64(supercap_.has_value() ? 1 : 0);
+  if (supercap_.has_value()) write_energy(w, supercap_->stored());
+  w.put_double(policy_->soc_cap());
+  w.put_double(harvester_.jitter());
+  write_tracker(w, tracker_.snapshot());
+
+  w.put_double(etx_ewma_.raw_value());
+  w.put_u64(etx_ewma_.initialized() ? 1 : 0);
+  const auto& windows = retx_estimator_.windows();
+  w.put_u64(windows.size());
+  for (const RetxEstimator::WindowStats& stats : windows) {
+    w.put_u64(stats.retx_counts.size());
+    for (std::uint64_t count : stats.retx_counts) w.put_u64(count);
+    w.put_u64(stats.selections);
+    w.put_u64(stats.retx_sum);
+  }
+  write_time(w, duty_cycle_.next_allowed());
+
+  write_time(w, last_account_);
+  write_time(w, last_fade_update_);
+  w.put_double(w_u_);
+  write_time(w, last_w_update_);
+  write_time(w, last_delivery_at_);
+  w.put_i64(consecutive_ackless_);
+  write_time(w, rebooting_until_);
+  w.put_u64(next_seq_);
+  w.put_u64(report_seq_);
+  w.put_u64(last_report_packet_);
+
+  w.put_u64(pending_.active ? 1 : 0);
+  w.put_u64(pending_.seq);
+  write_time(w, pending_.generated_at);
+  w.put_i64(pending_.window);
+  w.put_i64(pending_.transmissions);
+  write_energy(w, pending_.spent);
+
+  w.put_u64(has_samples_ ? 1 : 0);
+  write_sample(w, period_start_sample_);
+  write_sample(w, latest_sample_);
+
+  const NodeMetrics& m = *metrics_;
+  w.put_u64(m.generated);
+  w.put_u64(m.delivered);
+  w.put_u64(m.exhausted);
+  w.put_u64(m.policy_drops);
+  w.put_u64(m.brownouts);
+  w.put_u64(m.duty_defers);
+  w.put_u64(m.tx_attempts);
+  w.put_u64(m.retx);
+  write_energy(w, m.tx_energy);
+  w.put_double(m.utility_sum);
+  write_stats(w, m.latency_s);
+  write_stats(w, m.delivered_latency_s);
+  w.put_u64(m.window_counts.size());
+  for (std::uint32_t count : m.window_counts) w.put_u64(count);
+  w.put_u64(m.crashes);
+  w.put_u64(m.reboot_drops);
+  w.put_u64(m.lost_in_outage);
+  write_stats(w, m.recovery_s);
+  write_stats(w, m.w_age_s);
+
+  write_event(w, *sim_, period_event_);
+  write_event(w, *sim_, crash_event_);
+  write_event(w, *sim_, window_tx_);
+  write_event(w, *sim_, pending_.timeout);
+  write_event(w, *sim_, pending_.retx);
+  w.end_section();
+}
+
+void Node::restore_state(StateReader& r) {
+  r.begin_section("node");
+  if (r.get_u64() != id_) {
+    throw std::runtime_error{"Node::restore_state: checkpoint is for a different node"};
+  }
+  AdrCommand radio;
+  radio.sf = static_cast<SpreadingFactor>(r.get_u64());
+  radio.tx_power_dbm = r.get_double();
+  apply_adr(radio);  // re-derives LDRO + energy constants like a live command
+
+  rng_.restore(read_rng(r));
+  const bool has_crash_rng = r.get_u64() != 0;
+  if (has_crash_rng != crash_rng_.has_value()) {
+    throw std::runtime_error{"Node::restore_state: crash-fault stream mismatch"};
+  }
+  if (has_crash_rng) crash_rng_->restore(read_rng(r));
+  forecaster_.restore_rng(read_rng(r));
+
+  const Energy stored = read_energy(r);
+  const double degradation = r.get_double();
+  battery_.restore_raw(stored, degradation);
+  const bool has_supercap = r.get_u64() != 0;
+  if (has_supercap != supercap_.has_value()) {
+    throw std::runtime_error{"Node::restore_state: supercap presence mismatch"};
+  }
+  if (has_supercap) supercap_->restore_stored(read_energy(r));
+  policy_->set_soc_cap(r.get_double());
+  switch_.set_soc_cap(policy_->soc_cap());
+  harvester_.restore_jitter(r.get_double());
+  tracker_.restore(read_tracker(r));
+
+  const double ewma_value = r.get_double();
+  etx_ewma_.restore(ewma_value, r.get_u64() != 0);
+  auto& windows = retx_estimator_.windows_mutable();
+  if (r.get_u64() != windows.size()) {
+    throw std::runtime_error{"Node::restore_state: retx window count mismatch"};
+  }
+  for (RetxEstimator::WindowStats& stats : windows) {
+    if (r.get_u64() != stats.retx_counts.size()) {
+      throw std::runtime_error{"Node::restore_state: retx histogram width mismatch"};
+    }
+    for (std::uint64_t& count : stats.retx_counts) count = r.get_u64();
+    stats.selections = r.get_u64();
+    stats.retx_sum = r.get_u64();
+  }
+  duty_cycle_.restore_next_allowed(read_time(r));
+
+  last_account_ = read_time(r);
+  last_fade_update_ = read_time(r);
+  w_u_ = r.get_double();
+  last_w_update_ = read_time(r);
+  last_delivery_at_ = read_time(r);
+  consecutive_ackless_ = static_cast<int>(r.get_i64());
+  rebooting_until_ = read_time(r);
+  next_seq_ = static_cast<std::uint32_t>(r.get_u64());
+  report_seq_ = static_cast<std::uint16_t>(r.get_u64());
+  last_report_packet_ = static_cast<std::uint32_t>(r.get_u64());
+
+  pending_ = Pending{};
+  pending_.active = r.get_u64() != 0;
+  pending_.seq = static_cast<std::uint32_t>(r.get_u64());
+  pending_.generated_at = read_time(r);
+  pending_.window = static_cast<int>(r.get_i64());
+  pending_.transmissions = static_cast<int>(r.get_i64());
+  pending_.spent = read_energy(r);
+
+  has_samples_ = r.get_u64() != 0;
+  period_start_sample_ = read_sample(r);
+  latest_sample_ = read_sample(r);
+
+  NodeMetrics& m = *metrics_;
+  m.generated = r.get_u64();
+  m.delivered = r.get_u64();
+  m.exhausted = r.get_u64();
+  m.policy_drops = r.get_u64();
+  m.brownouts = r.get_u64();
+  m.duty_defers = r.get_u64();
+  m.tx_attempts = r.get_u64();
+  m.retx = r.get_u64();
+  m.tx_energy = read_energy(r);
+  m.utility_sum = r.get_double();
+  read_stats(r, m.latency_s);
+  read_stats(r, m.delivered_latency_s);
+  if (r.get_u64() != m.window_counts.size()) {
+    throw std::runtime_error{"Node::restore_state: window histogram size mismatch"};
+  }
+  for (std::uint32_t& count : m.window_counts) count = static_cast<std::uint32_t>(r.get_u64());
+  m.crashes = r.get_u64();
+  m.reboot_drops = r.get_u64();
+  m.lost_in_outage = r.get_u64();
+  read_stats(r, m.recovery_s);
+  read_stats(r, m.w_age_s);
+
+  period_event_ = EventHandle{};
+  crash_event_ = EventHandle{};
+  window_tx_ = EventHandle{};
+  if (const auto e = read_event(r)) {
+    period_event_ = sim_->schedule_at_seq(e->time, e->seq, [this] { on_period_start(); });
+  }
+  if (const auto e = read_event(r)) {
+    crash_event_ = sim_->schedule_at_seq(e->time, e->seq, [this] { on_crash(); });
+  }
+  if (const auto e = read_event(r)) {
+    window_tx_ = sim_->schedule_at_seq(e->time, e->seq, [this] { start_attempt(); });
+  }
+  if (const auto e = read_event(r)) {
+    pending_.timeout = sim_->schedule_at_seq(e->time, e->seq, [this] { on_ack_timeout(); });
+  }
+  if (const auto e = read_event(r)) {
+    pending_.retx = sim_->schedule_at_seq(e->time, e->seq, [this] { start_attempt(); });
+  }
+  r.end_section();
 }
 
 void Node::finalize_metrics(Time now) {

@@ -53,6 +53,8 @@ namespace blam {
 
 class Auditor;
 class Gateway;
+class StateReader;
+class StateWriter;
 
 class Node {
  public:
@@ -125,6 +127,17 @@ class Node {
 
   /// Copies degradation ground truth into the metrics record.
   void finalize_metrics(Time now);
+
+  /// Serializes everything that diverges from a freshly constructed node —
+  /// radio params, RNG streams, storage, estimators, the in-flight packet,
+  /// the metrics row, and every pending event — into an engine checkpoint
+  /// (see sim/checkpoint.hpp).
+  void checkpoint_state(StateWriter& w) const;
+
+  /// Restores state captured by checkpoint_state into a freshly built node
+  /// whose event queue has been cleared; re-schedules this node's pending
+  /// events under their original sequence numbers.
+  void restore_state(StateReader& r);
 
  private:
   void on_period_start();
@@ -245,6 +258,16 @@ class Node {
     EventHandle retx{};
   };
   Pending pending_;
+
+  // Owned standalone events (checkpointed alongside Pending's handles).
+  /// The next on_period_start event (always armed while the sim runs).
+  EventHandle period_event_{};
+  /// The next on_crash event (armed iff crash faults are enabled).
+  EventHandle crash_event_{};
+  /// The start_attempt event placed inside the chosen forecast window; a
+  /// crash can abort the packet while this is still pending (it then fires
+  /// as a guarded no-op, which still counts as an executed event).
+  EventHandle window_tx_{};
 
   // SoC transition points for the next uplink report (paper: two points).
   SocSample period_start_sample_{};

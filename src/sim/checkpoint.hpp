@@ -1,0 +1,95 @@
+// Engine checkpoint orchestration ("blamsim v1").
+//
+// A checkpoint captures ONE engine slice — a Simulator plus every component
+// scheduled on it (server, gateways, nodes, fault channels, metrics) — at a
+// quiescent instant: between run_until calls, when no callback is on the
+// stack. The serial Network is one slice; the sharded engine is one slice
+// per shard, checkpointed at a dissemination-epoch barrier where every
+// shard's clock agrees.
+//
+// Restore is a rebuild, not a surgery: the caller constructs a FRESH network
+// from the same ScenarioConfig (burning identical construction-time RNG
+// draws), wipes the construction-time event schedule (Simulator::
+// clear_events), and then every component restores its passive state AND
+// re-schedules its own pending events under their ORIGINAL sequence numbers
+// (EventQueue::schedule_with_seq). Explicit seqs make restore order
+// irrelevant and reproduce the serial FIFO tie-break exactly, so a resumed
+// run re-executes the identical event interleaving — figure CSVs and shard
+// fingerprints match the uninterrupted run byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/state_codec.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "mac/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace blam {
+
+class NetworkServer;
+class Gateway;
+class Node;
+class FaultPlan;
+struct GatewayMetrics;
+
+/// First line of every engine checkpoint stream.
+inline constexpr const char* kCheckpointMagic = "blamsim v1";
+
+// --- shared token helpers (used by every component's checkpoint_state) ----
+
+inline void write_time(StateWriter& w, Time t) { w.put_i64(t.us()); }
+[[nodiscard]] inline Time read_time(StateReader& r) { return Time::from_us(r.get_i64()); }
+
+inline void write_energy(StateWriter& w, Energy e) { w.put_double(e.joules()); }
+[[nodiscard]] inline Energy read_energy(StateReader& r) {
+  return Energy::from_joules(r.get_double());
+}
+
+void write_rng(StateWriter& w, const Rng::State& state);
+[[nodiscard]] Rng::State read_rng(StateReader& r);
+
+void write_stats(StateWriter& w, const RunningStats& stats);
+void read_stats(StateReader& r, RunningStats& stats);
+
+/// Shared by the gateway (in-flight receptions) and the server (aggregating
+/// frames): full uplink frame including the SoC report payload.
+void write_uplink_frame(StateWriter& w, const UplinkFrame& frame);
+void read_uplink_frame(StateReader& r, UplinkFrame& frame);
+
+/// Serializes one owned event handle as (present, time, seq); stale handles
+/// (fired or cancelled) serialize as absent.
+void write_event(StateWriter& w, const Simulator& sim, EventHandle handle);
+/// Reads what write_event wrote; the owner re-schedules the event with its
+/// original seq via Simulator::schedule_at_seq (or drops it on nullopt).
+[[nodiscard]] std::optional<EventQueue::PendingEvent> read_event(StateReader& r);
+
+// --- slice orchestration --------------------------------------------------
+
+/// One engine slice: a simulator and everything scheduled on it. The serial
+/// Network and each shard both describe themselves with this.
+struct EngineSlice {
+  Simulator* sim{nullptr};
+  NetworkServer* server{nullptr};
+  const std::vector<std::unique_ptr<Gateway>>* gateways{nullptr};
+  const std::vector<std::unique_ptr<Node>>* nodes{nullptr};
+  GatewayMetrics* gateway_metrics{nullptr};
+  /// May be null (no fault injection).
+  FaultPlan* faults{nullptr};
+};
+
+/// Writes the slice's complete state (clock, server, gateways, nodes, fault
+/// channels, gateway counters). Must run at a quiescent instant.
+void checkpoint_slice(StateWriter& w, const EngineSlice& slice);
+
+/// Restores into a freshly built slice: wipes the construction schedule,
+/// replays component state and pending events, then restores the clock.
+void restore_slice(StateReader& r, const EngineSlice& slice);
+
+}  // namespace blam

@@ -22,6 +22,42 @@ EventHandle EventQueue::schedule(Time time, Callback callback) {
   return EventHandle{slot, s.generation};
 }
 
+EventHandle EventQueue::schedule_with_seq(Time time, std::uint64_t seq, Callback callback) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.callback = std::move(callback);
+  s.live = true;
+  heap_push(HeapEntry{time, seq, slot, s.generation});
+  ++live_;
+  return EventHandle{slot, s.generation};
+}
+
+std::optional<EventQueue::PendingEvent> EventQueue::lookup(EventHandle handle) const {
+  if (handle.is_null() || handle.slot >= slots_.size()) return std::nullopt;
+  const Slot& s = slots_[handle.slot];
+  if (!s.live || s.generation != handle.generation) return std::nullopt;
+  for (const HeapEntry& entry : heap_) {
+    if (entry.slot == handle.slot && entry.generation == handle.generation) {
+      return PendingEvent{entry.time, entry.seq};
+    }
+  }
+  return std::nullopt;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  slots_.clear();
+  free_slots_.clear();
+  live_ = 0;
+}
+
 bool EventQueue::cancel(EventHandle handle) {
   if (handle.is_null() || handle.slot >= slots_.size()) return false;
   Slot& s = slots_[handle.slot];

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/units.hpp"
@@ -58,6 +59,29 @@ class EventQueue {
     Callback callback;
   };
   [[nodiscard]] Popped pop();
+
+  /// (time, seq) of a still-pending event, or nullopt for a null, fired, or
+  /// cancelled handle. Scans the heap, so it is checkpoint-path only — the
+  /// hot path never pays for it.
+  struct PendingEvent {
+    Time time;
+    std::uint64_t seq;
+  };
+  [[nodiscard]] std::optional<PendingEvent> lookup(EventHandle handle) const;
+
+  /// Re-inserts an event under its ORIGINAL sequence number (checkpoint
+  /// restore). Does not advance next_seq_: the restorer replays every
+  /// pending event with the seq it held at checkpoint time — in any order,
+  /// since the seq is explicit — then calls set_next_seq once.
+  EventHandle schedule_with_seq(Time time, std::uint64_t seq, Callback callback);
+
+  /// Drops every event (heap, slots, free list) but keeps next_seq_; all
+  /// outstanding handles become invalid. Restore wipes the construction-time
+  /// schedule with this before replaying the checkpointed one.
+  void clear();
+
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+  void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
 
  private:
   struct Slot {

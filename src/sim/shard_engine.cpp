@@ -2,13 +2,20 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <fstream>
 #include <numeric>
+#include <sstream>
 #include <thread>
 
 #include "audit/audit.hpp"
 #include "lora/tx_timing_cache.hpp"
+#include "net/scenario_io.hpp"
+#include "sim/campaign.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace blam {
 
@@ -22,6 +29,28 @@ int resolve_shards(int configured) {
     }
   }
   return shards;
+}
+
+double resolve_shard_timeout_s() {
+  if (const char* env = std::getenv("BLAM_SHARD_TIMEOUT_S")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end != env && *end == '\0' && parsed >= 0.0) return parsed;
+  }
+  return 0.0;
+}
+
+void write_wedge_quarantine(const std::string& path, const ScenarioConfig& config,
+                            const std::string& report) {
+  QuarantinedCell cell;
+  cell.key = "sharded-run";
+  cell.label = "wedged shard";
+  cell.seed = config.seed;
+  cell.attempts = 1;
+  cell.timed_out = true;
+  cell.error = report;
+  cell.config_text = describe_scenario(config);
+  write_quarantine(path, std::vector<QuarantinedCell>{cell});
 }
 
 Time cross_shard_lookahead(const ScenarioConfig& config, const DeploymentPlan& deployment) {
@@ -84,10 +113,6 @@ ShardPlan plan_shards(const ScenarioConfig& config, const DeploymentPlan& deploy
   }
   if (audit_config_from_env(config.audit).level > 0) {
     plan.serial_reason = "audit enabled (global event-order hooks)";
-    return plan;
-  }
-  if (config.faults.any()) {
-    plan.serial_reason = "fault injection (shared fault-plan streams)";
     return plan;
   }
   if (config.interference.tx_per_hour > 0.0) {
@@ -200,7 +225,10 @@ ShardPlan plan_shards(const ScenarioConfig& config, const DeploymentPlan& deploy
 
 // --- ShardBarrier -----------------------------------------------------------
 
-ShardBarrier::ShardBarrier(int parties) : parties_{parties} {}
+ShardBarrier::ShardBarrier(int parties, double timeout_s)
+    : parties_{parties},
+      timeout_s_{timeout_s},
+      heartbeats_(static_cast<std::size_t>(parties)) {}
 
 double ShardBarrier::reduce_max(double value) {
   std::unique_lock<std::mutex> lock{mutex_};
@@ -214,7 +242,24 @@ double ShardBarrier::reduce_max(double value) {
     return result_;
   }
   const std::uint64_t my_generation = generation_;
-  cv_.wait(lock, [this, my_generation] { return generation_ != my_generation || poisoned_; });
+  const auto released = [this, my_generation] {
+    return generation_ != my_generation || poisoned_;
+  };
+  if (timeout_s_ <= 0.0) {
+    cv_.wait(lock, released);
+  } else if (const auto deadline = std::chrono::steady_clock::now() +
+                                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                       std::chrono::duration<double>{timeout_s_});
+             !cv_.wait_until(lock, deadline, released)) {
+    // wait_until returned with the predicate still false: a peer shard has
+    // missed the rendezvous for a full timeout window. This waiter — exactly
+    // one, since the check runs under the lock and poisoning flips the
+    // predicate for everyone else — becomes the detector: it kills the
+    // barrier and escapes with the diagnostics.
+    poisoned_ = true;
+    cv_.notify_all();
+    throw ShardWedged{wedge_report()};
+  }
   if (poisoned_) throw ShardAborted{};
   // Safe to read under the lock: the next round cannot complete (and
   // overwrite result_) until every waiter of this round has re-arrived.
@@ -223,10 +268,35 @@ double ShardBarrier::reduce_max(double value) {
 
 void ShardBarrier::sync() { (void)reduce_max(0.0); }
 
+void ShardBarrier::heartbeat(int party, const Heartbeat& hb) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  heartbeats_[static_cast<std::size_t>(party)] = hb;
+}
+
 void ShardBarrier::poison() {
   const std::lock_guard<std::mutex> lock{mutex_};
   poisoned_ = true;
   cv_.notify_all();
+}
+
+bool ShardBarrier::poisoned() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return poisoned_;
+}
+
+std::string ShardBarrier::wedge_report() const {
+  std::uint64_t max_epoch = 0;
+  for (const Heartbeat& hb : heartbeats_) max_epoch = std::max(max_epoch, hb.epoch);
+  std::ostringstream out;
+  out << "shard wedged: epoch barrier timed out after " << timeout_s_
+      << " s; per-shard progress:";
+  for (std::size_t p = 0; p < heartbeats_.size(); ++p) {
+    const Heartbeat& hb = heartbeats_[p];
+    out << "\n  shard " << p << ": epoch " << hb.epoch << ", queue depth " << hb.queue_depth
+        << ", sim time " << static_cast<double>(hb.sim_now.us()) * 1e-6 << " s";
+    if (hb.epoch < max_epoch) out << "  <-- lagging";
+  }
+  return out.str();
 }
 
 // --- ShardedNetwork ---------------------------------------------------------
@@ -239,6 +309,12 @@ struct ShardedNetwork::Shard {
   std::unique_ptr<UtilityFunction> utility;
   Metrics metrics;
   std::unique_ptr<NetworkServer> server;
+  /// Full fault-plan replica built from the same 0xfa17 fork as the serial
+  /// engine's: outage/drought schedules are global, and the Gilbert-Elliott /
+  /// crash / report streams are pure per-gateway / per-node forks, so every
+  /// shard's replica regenerates exactly the draws its entities would have
+  /// consumed serially. Null when the scenario is fault-free.
+  std::unique_ptr<FaultPlan> faults;
   std::vector<std::unique_ptr<Gateway>> gateways;
   /// Global ids of this shard's gateways / nodes, both ascending; local
   /// ids are the vector indices.
@@ -268,10 +344,32 @@ class ShardedNetwork::FleetReducer final : public FleetMaxCombiner {
 
 ShardedNetwork::ShardedNetwork(const ScenarioConfig& config) : ShardedNetwork{config, nullptr} {}
 
+namespace {
+
+std::int64_t resolve_checkpoint_every() {
+  if (const char* env = std::getenv("BLAM_CHECKPOINT_EVERY")) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 0) return parsed;
+  }
+  return 0;
+}
+
+std::string resolve_checkpoint_dir() {
+  if (const char* env = std::getenv("BLAM_CHECKPOINT_DIR")) {
+    if (*env != '\0') return env;
+  }
+  return ".";
+}
+
+}  // namespace
+
 ShardedNetwork::ShardedNetwork(const ScenarioConfig& config,
                                std::shared_ptr<const SolarTrace> trace)
     : config_{config}, merged_{static_cast<std::size_t>(config.n_nodes)} {
   config_.validate();
+  checkpoint_every_ = resolve_checkpoint_every();
+  checkpoint_dir_ = resolve_checkpoint_dir();
   const Rng root{config_.seed, /*stream=*/0};
   const DeploymentPlan deployment = plan_deployment(config_, root);
   plan_ = plan_shards(config_, deployment, resolve_shards(config_.shards));
@@ -279,6 +377,13 @@ ShardedNetwork::ShardedNetwork(const ScenarioConfig& config,
     // The proven engine, end to end — even events_executed matches a plain
     // Network run (the deployment is re-planned inside, from the same root).
     network_ = std::make_unique<Network>(config_, std::move(trace));
+    if (plan_.requested > 1) {
+      // The caller asked for parallelism it will not get; surface the silent
+      // degradation once on stderr and in the merged metrics.
+      std::fprintf(stderr, "blam: %d shards requested but running serial: %s\n", plan_.requested,
+                   plan_.serial_reason.c_str());
+      network_->metrics().set_serial_reason(plan_.serial_reason);
+    }
     return;
   }
   build_shards(deployment, std::move(trace));
@@ -291,7 +396,7 @@ void ShardedNetwork::build_shards(const DeploymentPlan& deployment,
   trace_ = trace != nullptr ? std::move(trace)
                             : build_deployment_trace(config_, deployment.worst_attempt_energy);
   const int n_shards = plan_.effective;
-  barrier_ = std::make_unique<ShardBarrier>(n_shards);
+  barrier_ = std::make_unique<ShardBarrier>(n_shards, resolve_shard_timeout_s());
   reducer_ = std::make_unique<FleetReducer>(*barrier_);
   failures_.resize(static_cast<std::size_t>(n_shards));
 
@@ -314,6 +419,9 @@ void ShardedNetwork::build_shards(const DeploymentPlan& deployment,
   shards_.reserve(static_cast<std::size_t>(n_shards));
   for (int s = 0; s < n_shards; ++s) {
     auto shard = std::make_unique<Shard>(config_, node_count[static_cast<std::size_t>(s)]);
+    // Cooperative kill switch: lets the wedge watchdog unwind a runaway
+    // event loop so the epoch join always returns.
+    shard->sim.attach_abort_flag(&abort_flag_);
     shard->thermal = std::make_unique<TemperatureModel>(thermal);
     shard->utility = make_utility(config_);
     // Construction order mirrors Network::build — server first (its
@@ -332,6 +440,10 @@ void ShardedNetwork::build_shards(const DeploymentPlan& deployment,
       tc.initial = std::clamp(config_.theta, tc.theta_min, tc.theta_max);
       shard->server->enable_adaptive_theta(tc);
     }
+    if (config_.faults.any()) {
+      shard->faults = std::make_unique<FaultPlan>(config_.faults, root.fork(0xfa17));
+      shard->server->attach_fault_plan(shard->faults.get());
+    }
     for (std::size_t g = 0; g < deployment.gateway_positions.size(); ++g) {
       if (plan_.shard_of_gateway[g] != s) continue;
       const int local_id = static_cast<int>(shard->gateways.size());
@@ -340,6 +452,11 @@ void ShardedNetwork::build_shards(const DeploymentPlan& deployment,
                                                           shard->sim, *shard->server,
                                                           shard->metrics, shard->channels, gw));
       shard->gateway_ids.push_back(static_cast<int>(g));
+      if (shard->faults != nullptr) {
+        // The Gilbert-Elliott downlink chain is keyed by the GLOBAL id.
+        shard->gateways.back()->set_fault_gateway_id(static_cast<int>(g));
+        shard->gateways.back()->attach_fault_plan(shard->faults.get());
+      }
     }
     for (std::size_t i = 0; i < deployment.nodes.size(); ++i) {
       if (plan_.shard_of_node[i] != s) continue;
@@ -364,6 +481,7 @@ void ShardedNetwork::build_shards(const DeploymentPlan& deployment,
                                                     shard->metrics.node(local),
                                                     root.fork(0x0de + i)));
       shard->node_ids.push_back(init.id);
+      if (shard->faults != nullptr) shard->nodes.back()->attach_fault_plan(shard->faults.get());
       shard->nodes.back()->start();
     }
     shards_.push_back(std::move(shard));
@@ -371,12 +489,33 @@ void ShardedNetwork::build_shards(const DeploymentPlan& deployment,
 }
 
 void ShardedNetwork::run_until(Time until) {
-  if (network_ != nullptr) {
-    network_->run_until(until);
-    return;
-  }
   if (until <= cursor_) return;
-  const Time start = cursor_;
+  // With checkpointing on, advance in slices that end exactly on checkpoint
+  // boundaries (multiples of checkpoint_every_ dissemination epochs, in
+  // absolute time), writing the rolling checkpoint file at each one. Slicing
+  // is free for determinism: the workers' epoch windows already derive from
+  // absolute boundary instants, so any split of [cursor_, until) replays the
+  // identical epoch sequence.
+  const std::int64_t cp_us =
+      checkpoint_every_ > 0 ? config_.dissemination_period.us() * checkpoint_every_ : 0;
+  while (cursor_ < until) {
+    Time next = until;
+    if (cp_us > 0) {
+      const std::int64_t next_boundary = (cursor_.us() / cp_us + 1) * cp_us;
+      next = std::min(until, Time::from_us(next_boundary));
+    }
+    if (network_ != nullptr) {
+      network_->run_until(next);
+    } else {
+      advance(cursor_, next);
+    }
+    cursor_ = next;
+    if (cp_us > 0 && next.us() % cp_us == 0) checkpoint_to_file(checkpoint_file_path());
+  }
+}
+
+void ShardedNetwork::advance(Time start, Time until) {
+  abort_flag_.store(false, std::memory_order_relaxed);
   std::fill(failures_.begin(), failures_.end(), nullptr);
   std::vector<std::thread> workers;
   workers.reserve(shards_.size());
@@ -384,9 +523,16 @@ void ShardedNetwork::run_until(Time until) {
     workers.emplace_back([this, s, start, until] { worker_run(s, start, until); });
   }
   for (std::thread& worker : workers) worker.join();
-  cursor_ = until;
   for (const std::exception_ptr& failure : failures_) {
-    if (failure != nullptr) std::rethrow_exception(failure);
+    if (failure == nullptr) continue;
+    try {
+      std::rethrow_exception(failure);
+    } catch (const ShardWedged& wedged) {
+      // A wedged run yields no results; leave the repro behind (same
+      // protocol as a quarantined campaign cell) before propagating.
+      write_wedge_quarantine("quarantine.json", config_, wedged.what());
+      throw;
+    }
   }
 }
 
@@ -406,14 +552,32 @@ void ShardedNetwork::worker_run(std::size_t shard_index, Time start, Time until)
       const std::int64_t next_boundary = (cursor.us() / epoch_us + 1) * epoch_us;
       const Time next = std::min(until, Time::from_us(next_boundary));
       shard.sim.run_until(next);
+      // Publish progress before the rendezvous: if a peer wedges, the
+      // detector's report shows this shard parked at the boundary while the
+      // laggard's heartbeat is still a round behind.
+      ShardBarrier::Heartbeat hb;
+      hb.epoch = static_cast<std::uint64_t>(next_boundary / epoch_us);
+      hb.queue_depth = shard.sim.pending_events();
+      hb.sim_now = shard.sim.now();
+      barrier_->heartbeat(static_cast<int>(shard_index), hb);
       barrier_->sync();
       cursor = next;
     }
   } catch (const ShardAborted&) {
     // A peer shard failed; its exception carries the diagnosis.
+  } catch (const SimulationAborted&) {
+    // This shard's event loop was killed by the watchdog's abort flag; the
+    // detector's ShardWedged carries the diagnosis.
+  } catch (const ShardWedged&) {
+    // This shard detected the wedge (its timed barrier wait expired). The
+    // barrier is already poisoned; raise the kill switch so the shard still
+    // spinning inside run_until unwinds and join() returns.
+    failures_[shard_index] = std::current_exception();
+    abort_flag_.store(true, std::memory_order_relaxed);
   } catch (...) {
     failures_[shard_index] = std::current_exception();
     barrier_->poison();
+    abort_flag_.store(true, std::memory_order_relaxed);
   }
   timespec t1{};
   clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t1);
@@ -466,12 +630,20 @@ void ShardedNetwork::finalize_metrics() {
     mg.lost_outage += g.lost_outage;
     mg.acks_lost_outage += g.acks_lost_outage;
     mg.acks_lost_channel += g.acks_lost_channel;
-    mg.recomputes_skipped += g.recomputes_skipped;
-    mg.reports_dropped_fault += g.reports_dropped_fault;
-    mg.reports_duplicated_fault += g.reports_duplicated_fault;
-    mg.reports_reordered_fault += g.reports_reordered_fault;
-    mg.reports_corrupted_fault += g.reports_corrupted_fault;
-    mg.reports_truncated_fault += g.reports_truncated_fault;
+    // Every shard's server skips the identical backhaul-down dissemination
+    // instants (the outage schedule is global), while the serial engine
+    // counts each skip once — so this counter is replicated, not partitioned.
+    mg.recomputes_skipped = g.recomputes_skipped;
+    // Report-channel fault tallies live on each shard's channel, not in the
+    // per-shard gateway metrics; nodes partition across shards, so the
+    // serial per-node lanes sum is exactly the per-shard channels sum.
+    if (const ReportChannelCounters* rc = shard->server->report_channel_counters()) {
+      mg.reports_dropped_fault += rc->dropped;
+      mg.reports_duplicated_fault += rc->duplicated;
+      mg.reports_reordered_fault += rc->reordered;
+      mg.reports_corrupted_fault += rc->corrupted;
+      mg.reports_truncated_fault += rc->truncated;
+    }
 
     // Exact compensation for the gateways this shard never radiated to: in
     // the serial engine every attempt arrives at every gateway, and at a
@@ -496,6 +668,12 @@ void ShardedNetwork::finalize_metrics() {
     feedback.recoveries += c.recoveries;
   }
   merged_.set_feedback(feedback);
+  if (!shards_.empty() && shards_.front()->faults != nullptr) {
+    // The outage schedule is global and every replica regenerates it
+    // identically; any shard's tally is the serial value.
+    Shard& front = *shards_.front();
+    merged_.set_total_outage(front.faults->outage_seconds_until(front.sim.now()));
+  }
 }
 
 const Metrics& ShardedNetwork::metrics() const {
@@ -540,6 +718,93 @@ double ShardedNetwork::max_shard_busy_seconds() const {
   double max_busy = 0.0;
   for (const auto& shard : shards_) max_busy = std::max(max_busy, shard->busy_seconds);
   return max_busy;
+}
+
+void ShardedNetwork::checkpoint(std::ostream& out) {
+  out << kCheckpointMagic << '\n';
+  StateWriter w{out};
+  // The meta section pins everything restore() cannot rebuild on its own:
+  // the scenario identity (seed, fleet size), the engine shape (a serial
+  // checkpoint cannot restore into a sharded engine or vice versa — slice
+  // boundaries differ), and the resume cursor.
+  w.begin_section("meta");
+  w.put_u64(config_.seed);
+  w.put_u64(static_cast<std::uint64_t>(config_.n_nodes));
+  w.put_u64(plan_.serial ? 1 : 0);
+  w.put_u64(static_cast<std::uint64_t>(plan_.effective));
+  write_time(w, cursor_);
+  w.end_section();
+  if (network_ != nullptr) {
+    network_->checkpoint_state(w);
+  } else {
+    for (const auto& shard : shards_) {
+      EngineSlice slice;
+      slice.sim = &shard->sim;
+      slice.server = shard->server.get();
+      slice.gateways = &shard->gateways;
+      slice.nodes = &shard->nodes;
+      slice.gateway_metrics = &shard->metrics.gateway();
+      slice.faults = shard->faults.get();
+      checkpoint_slice(w, slice);
+    }
+  }
+}
+
+void ShardedNetwork::restore(std::istream& in) {
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kCheckpointMagic) {
+    throw std::runtime_error{"restore: not a \"" + std::string{kCheckpointMagic} +
+                             "\" checkpoint stream"};
+  }
+  StateReader r{in};
+  r.begin_section("meta");
+  if (r.get_u64() != config_.seed) {
+    throw std::runtime_error{"restore: checkpoint seed does not match this scenario"};
+  }
+  if (r.get_u64() != static_cast<std::uint64_t>(config_.n_nodes)) {
+    throw std::runtime_error{"restore: checkpoint fleet size does not match this scenario"};
+  }
+  if ((r.get_u64() != 0) != plan_.serial ||
+      r.get_u64() != static_cast<std::uint64_t>(plan_.effective)) {
+    throw std::runtime_error{
+        "restore: checkpoint engine shape (serial/shard count) does not match this run"};
+  }
+  const Time cursor = read_time(r);
+  r.end_section();
+  if (network_ != nullptr) {
+    network_->restore_state(r);
+  } else {
+    for (const auto& shard : shards_) {
+      EngineSlice slice;
+      slice.sim = &shard->sim;
+      slice.server = shard->server.get();
+      slice.gateways = &shard->gateways;
+      slice.nodes = &shard->nodes;
+      slice.gateway_metrics = &shard->metrics.gateway();
+      slice.faults = shard->faults.get();
+      restore_slice(r, slice);
+    }
+  }
+  cursor_ = cursor;
+}
+
+std::string ShardedNetwork::checkpoint_file_path() const {
+  return checkpoint_dir_ + "/blamsim.ckpt";
+}
+
+void ShardedNetwork::checkpoint_to_file(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) throw std::runtime_error{"checkpoint: cannot open " + tmp};
+    checkpoint(out);
+    out.flush();
+    if (!out) throw std::runtime_error{"checkpoint: write failed for " + tmp};
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error{"checkpoint: rename to " + path + " failed"};
+  }
 }
 
 }  // namespace blam

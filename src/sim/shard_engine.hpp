@@ -21,11 +21,14 @@
 // per-node forks, and the D_max all-reduce reproduces the serial fleet max.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -67,9 +70,11 @@ struct ShardPlan {
 };
 
 /// Plans the shard decomposition. Serial fallbacks: requested <= 1, audit
-/// enabled (global event-order hooks), fault injection (shared plan streams),
-/// external interference, packet log, fast fading (per-gateway draws), or a
-/// single collision domain.
+/// enabled (global event-order hooks), external interference, packet log,
+/// fast fading (per-gateway draws), or a single collision domain. Fault
+/// injection shards fine: every shard rebuilds the full FaultPlan from the
+/// same 0xfa17 fork, and each stream is already keyed by the global gateway
+/// or node id, so a replica regenerates exactly the serial draws.
 [[nodiscard]] ShardPlan plan_shards(const ScenarioConfig& config,
                                     const DeploymentPlan& deployment, int requested);
 
@@ -83,31 +88,75 @@ class ShardAborted : public std::exception {
   }
 };
 
+/// Thrown by exactly one barrier waiter — the first whose timed wait expires
+/// — when a peer shard misses the epoch rendezvous for longer than
+/// BLAM_SHARD_TIMEOUT_S. Carries the stuck-shard diagnostics (per-party
+/// heartbeats: epoch, queue depth, last simulated instant).
+class ShardWedged : public std::runtime_error {
+ public:
+  explicit ShardWedged(const std::string& report) : std::runtime_error{report} {}
+};
+
+/// BLAM_SHARD_TIMEOUT_S: wedged-shard watchdog timeout in (wall-clock)
+/// seconds for the epoch barrier; 0 or unset disables the watchdog.
+[[nodiscard]] double resolve_shard_timeout_s();
+
+/// Records a wedged sharded run as one PR-4 quarantine cell (timed_out =
+/// true, the wedge report as the error, describe_scenario() as the repro
+/// text) at `path`, atomically. Factored out so the wedge e2e test exercises
+/// the exact production writer.
+void write_wedge_quarantine(const std::string& path, const ScenarioConfig& config,
+                            const std::string& report);
+
 /// Rendezvous point for the epoch loop. Every shard performs the identical
 /// sequence of collective calls (reduce_max inside each dissemination tick,
 /// sync at each epoch end), so one generation counter serializes them all.
 /// Exposed for the tsan test.
 class ShardBarrier {
  public:
-  explicit ShardBarrier(int parties);
+  /// Last-known progress of one shard, published before each epoch
+  /// rendezvous; the watchdog's wedge report is composed from these.
+  struct Heartbeat {
+    std::uint64_t epoch{0};
+    std::size_t queue_depth{0};
+    Time sim_now{};
+  };
+
+  /// timeout_s <= 0 disables the watchdog (plain blocking barrier).
+  // blam-lint: allow(U1) -- wall-clock watchdog seconds (steady_clock deadline), not sim time; blam::Time does not apply
+  explicit ShardBarrier(int parties, double timeout_s = 0.0);
 
   /// Collective max-reduction: blocks until all parties contribute, returns
-  /// the maximum. Throws ShardAborted once poisoned.
+  /// the maximum. Throws ShardAborted once poisoned. With the watchdog
+  /// armed, the first waiter whose timed wait expires poisons the barrier
+  /// and throws ShardWedged carrying the per-party heartbeat report; later
+  /// waiters and arrivals see the poison and throw ShardAborted.
   [[nodiscard]] double reduce_max(double value);
 
-  /// Collective barrier with no payload. Throws ShardAborted once poisoned.
+  /// Collective barrier with no payload. Throws ShardAborted once poisoned
+  /// (or ShardWedged in the single watchdog detector).
   void sync();
+
+  /// Publishes the shard's progress snapshot for wedge diagnostics.
+  void heartbeat(int party, const Heartbeat& hb);
 
   /// Wakes every waiter and makes all current and future collective calls
   /// throw ShardAborted. Idempotent.
   void poison();
 
+  [[nodiscard]] bool poisoned() const;
+
   [[nodiscard]] int parties() const { return parties_; }
 
  private:
-  std::mutex mutex_;
+  /// Composes the stuck-shard diagnostics from heartbeats_; mutex_ held.
+  [[nodiscard]] std::string wedge_report() const;
+
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   int parties_;
+  double timeout_s_;
+  std::vector<Heartbeat> heartbeats_;
   int arrived_{0};
   std::uint64_t generation_{0};
   double folding_max_{0.0};
@@ -159,6 +208,21 @@ class ShardedNetwork {
   /// the throughput bench reports on core-starved hosts.
   [[nodiscard]] double max_shard_busy_seconds() const;
 
+  /// Serializes the full engine ("blamsim v1" stream: meta + every shard's
+  /// slice, or the serial Network's single slice) at the current cursor.
+  /// Call only between run_until calls, at an epoch boundary in sharded
+  /// mode. Throws std::runtime_error for uncheckpointable configurations.
+  void checkpoint(std::ostream& out);
+
+  /// Restores a checkpoint written by checkpoint() into this freshly built
+  /// engine (same ScenarioConfig, not yet run). Subsequent run_until calls
+  /// continue bit-identically to the uninterrupted run.
+  void restore(std::istream& in);
+
+  /// checkpoint() to `path` atomically (tmp + rename), so a crash mid-write
+  /// never corrupts the last good checkpoint.
+  void checkpoint_to_file(const std::string& path);
+
  private:
   struct Shard;
   class FleetReducer;
@@ -166,6 +230,11 @@ class ShardedNetwork {
   void build_shards(const DeploymentPlan& deployment,
                     std::shared_ptr<const SolarTrace> trace);
   void worker_run(std::size_t shard_index, Time start, Time until);
+  /// One parallel lockstep advance (the body run_until slices between
+  /// checkpoint boundaries).
+  void advance(Time start, Time until);
+  /// BLAM_CHECKPOINT_DIR/blamsim.ckpt — the rolling checkpoint file.
+  [[nodiscard]] std::string checkpoint_file_path() const;
 
   ScenarioConfig config_;
   ShardPlan plan_;
@@ -179,6 +248,14 @@ class ShardedNetwork {
   std::vector<std::exception_ptr> failures_;
   Metrics merged_;
   Time cursor_{};
+  /// Cooperative kill switch for wedged shards: polled by every shard's
+  /// event loop, raised when the watchdog fires so join() always returns.
+  std::atomic<bool> abort_flag_{false};
+  /// BLAM_CHECKPOINT_EVERY: dissemination epochs between rolling
+  /// checkpoints (0 = off).
+  std::int64_t checkpoint_every_{0};
+  /// BLAM_CHECKPOINT_DIR: directory for the rolling checkpoint file.
+  std::string checkpoint_dir_;
 };
 
 }  // namespace blam

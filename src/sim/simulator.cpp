@@ -22,6 +22,14 @@ EventHandle Simulator::schedule_in(Time delay, Callback callback) {
   return queue_.schedule(now_ + delay, std::move(callback));
 }
 
+EventHandle Simulator::schedule_at_seq(Time at, std::uint64_t seq, Callback callback) {
+  if (at < now_) {
+    throw std::invalid_argument{"Simulator::schedule_at_seq: time " + at.to_string() +
+                                " precedes now " + now_.to_string()};
+  }
+  return queue_.schedule_with_seq(at, seq, std::move(callback));
+}
+
 void Simulator::run() {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
@@ -29,6 +37,10 @@ void Simulator::run() {
     if (audit_ != nullptr) audit_->on_event_pop(now_, time);
     now_ = time;
     ++executed_;
+    if (abort_ != nullptr && (executed_ & 1023u) == 0 &&
+        abort_->load(std::memory_order_relaxed)) {
+      throw SimulationAborted{};
+    }
     callback();
   }
 }
@@ -40,6 +52,10 @@ void Simulator::run_until(Time until) {
     if (audit_ != nullptr) audit_->on_event_pop(now_, time);
     now_ = time;
     ++executed_;
+    if (abort_ != nullptr && (executed_ & 1023u) == 0 &&
+        abort_->load(std::memory_order_relaxed)) {
+      throw SimulationAborted{};
+    }
     callback();
   }
   if (!stopped_ && now_ < until) now_ = until;
@@ -62,6 +78,14 @@ void PeriodicProcess::cancel() {
 
 void PeriodicProcess::arm(Time at) {
   pending_ = sim_.schedule_at(at, [this] {
+    arm(sim_.now() + period_);
+    tick_();
+  });
+}
+
+void PeriodicProcess::restore_arm(Time at, std::uint64_t seq) {
+  sim_.cancel(pending_);
+  pending_ = sim_.schedule_at_seq(at, seq, [this] {
     arm(sim_.now() + period_);
     tick_();
   });

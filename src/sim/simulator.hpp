@@ -6,7 +6,9 @@
 // at the current timestamp (they run after the current callback returns).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 
 #include "common/units.hpp"
 #include "sim/event_queue.hpp"
@@ -14,6 +16,16 @@
 namespace blam {
 
 class Auditor;
+
+/// Thrown out of run()/run_until() when an attached abort flag flips: the
+/// cooperative kill switch the shard watchdog uses to unwind a wedged shard
+/// (a runaway event loop) without detaching its thread.
+class SimulationAborted : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "simulation aborted: external abort flag set";
+  }
+};
 
 class Simulator {
  public:
@@ -55,12 +67,45 @@ class Simulator {
   /// Number of currently pending events.
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Attaches a cooperative abort flag (nullptr detaches). run()/run_until()
+  /// poll it every 1024 events and throw SimulationAborted once set — the
+  /// shard watchdog's way to unwind a runaway shard.
+  void attach_abort_flag(const std::atomic<bool>* flag) { abort_ = flag; }
+
+  // --- Checkpoint surface (cold path; see sim/checkpoint.hpp) ---
+
+  /// (time, seq) of a pending event, or nullopt for null/fired/cancelled
+  /// handles.
+  [[nodiscard]] std::optional<EventQueue::PendingEvent> lookup(EventHandle handle) const {
+    return queue_.lookup(handle);
+  }
+
+  /// Drops all pending events; outstanding handles become invalid. The seq
+  /// counter is preserved (restore sets it explicitly via restore_clock).
+  void clear_events() { queue_.clear(); }
+
+  /// Re-inserts an event under its checkpointed sequence number. `at` must
+  /// be >= now(); restore runs at now()==0 so every future time qualifies.
+  EventHandle schedule_at_seq(Time at, std::uint64_t seq, Callback callback);
+
+  [[nodiscard]] std::uint64_t next_event_seq() const { return queue_.next_seq(); }
+
+  /// Rewinds/advances the engine clock to a checkpointed position. Call
+  /// AFTER every component has replayed its pending events (their explicit
+  /// seqs are independent of the counter this sets).
+  void restore_clock(Time now, std::uint64_t executed, std::uint64_t next_seq) {
+    now_ = now;
+    executed_ = executed;
+    queue_.set_next_seq(next_seq);
+  }
+
  private:
   EventQueue queue_;
   Time now_{Time::zero()};
   std::uint64_t executed_{0};
   bool stopped_{false};
   Auditor* audit_{nullptr};
+  const std::atomic<bool>* abort_{nullptr};
 };
 
 /// Repeatedly invokes a callback at a fixed period, starting at `first`.
@@ -83,6 +128,15 @@ class PeriodicProcess {
   void cancel();
 
   [[nodiscard]] Time period() const { return period_; }
+
+  /// Handle of the armed tick event (checkpoint path: look it up in the
+  /// simulator to learn its fire time and seq).
+  [[nodiscard]] EventHandle pending_handle() const { return pending_; }
+
+  /// Re-arms the tick at a checkpointed (time, seq), replacing whatever is
+  /// currently armed. The closure is identical to arm()'s, so subsequent
+  /// ticks chain exactly as in the original run.
+  void restore_arm(Time at, std::uint64_t seq);
 
  private:
   void arm(Time at);

@@ -127,6 +127,35 @@ TEST(BenchSchema, FaultGridOrderIsEnforced) {
   EXPECT_FALSE(check_bench_json("BENCH_fault.json", disordered).empty());
 }
 
+TEST(BenchSchema, ResumeArtifactSchema) {
+  const std::string valid = R"({
+    "nodes": 48, "gateways": 4, "shards": 4, "days": 0.5,
+    "epochs": 12, "kill_epoch": 6,
+    "checkpoint_bytes": 250000, "checkpoint_write_s": 0.004,
+    "restore_s": 0.006, "fresh_wall_s": 0.09, "resumed_wall_s": 0.05,
+    "bit_identical": true
+  })";
+  EXPECT_TRUE(check_bench_json("BENCH_resume.json", valid).empty());
+  // The resume gate is void unless the run actually matched bit for bit.
+  EXPECT_FALSE(check_bench_json("BENCH_resume.json",
+                                with_replacement(valid, "\"bit_identical\": true",
+                                                 "\"bit_identical\": false"))
+                   .empty());
+  // An empty checkpoint means nothing was captured.
+  EXPECT_FALSE(check_bench_json("BENCH_resume.json",
+                                with_replacement(valid, "\"checkpoint_bytes\": 250000",
+                                                 "\"checkpoint_bytes\": 0"))
+                   .empty());
+  // Killing at or past the end never tested a resume.
+  EXPECT_FALSE(check_bench_json("BENCH_resume.json",
+                                with_replacement(valid, "\"kill_epoch\": 6", "\"kill_epoch\": 12"))
+                   .empty());
+  EXPECT_FALSE(
+      check_bench_json("BENCH_resume.json",
+                       with_replacement(valid, "\"restore_s\": 0.006, ", ""))
+          .empty());
+}
+
 TEST(BenchSchema, UnknownBenchFileGetsGenericContract) {
   EXPECT_TRUE(check_bench_json("BENCH_future.json", R"({"anything": 1.0})").empty());
   // ...but still no NaN/Inf and a non-empty object.

@@ -100,7 +100,7 @@ void feed_scripted_scenario(DegradationService& svc,
   (svc.*deliver)(2, 7, report_checksum(7, n2s7), n2s7);  // held post-recompute
 }
 
-std::string checkpoint_text(const DegradationService& svc) {
+std::string checkpoint_text(DegradationService& svc) {
   std::ostringstream out;
   svc.checkpoint(out);
   return out.str();
@@ -154,21 +154,29 @@ TEST(LedgerCheckpoint, BatchSizeDoesNotChangeTheBytes) {
   }
 }
 
-TEST(LedgerCheckpoint, CheckpointRefusesStagedReports) {
-  DegradationService svc{DegradationModel{}, 25.0};
-  svc.set_ingest_batch(100);  // nothing drains on its own
+TEST(LedgerCheckpoint, CheckpointDrainsStagedReports) {
+  // A checkpoint taken with reports still staged folds them in first and
+  // reads exactly like one taken after an explicit drain (drain order is
+  // arrival order either way).
+  DegradationService drained{DegradationModel{}, 25.0};
+  drained.set_ingest_batch(100);  // nothing drains on its own
   const auto samples = ramp(0.0, {0.9, 0.5});
+  drained.enqueue_report(1, 0, report_checksum(0, samples), samples);
+  EXPECT_EQ(drained.drain_queue(), 1u);
+  const std::string expected = checkpoint_text(drained);
+
+  DegradationService svc{DegradationModel{}, 25.0};
+  svc.set_ingest_batch(100);
   svc.enqueue_report(1, 0, report_checksum(0, samples), samples);
   ASSERT_EQ(svc.queued_reports(), 1u);
+  EXPECT_EQ(checkpoint_text(svc), expected);
+  EXPECT_EQ(svc.queued_reports(), 0u);
 
-  std::ostringstream out;
-  EXPECT_THROW(svc.checkpoint(out), std::logic_error);
+  // Restore still refuses a non-empty queue: staged reports would be
+  // silently destroyed by the rebuild.
+  svc.enqueue_report(1, 1, report_checksum(1, samples), samples);
   std::istringstream in{kPr6Fixture};
   EXPECT_THROW(svc.restore(in), std::logic_error);
-
-  // Draining clears the objection.
-  EXPECT_EQ(svc.drain_queue(), 1u);
-  EXPECT_NO_THROW(svc.checkpoint(out));
 }
 
 TEST(LedgerCheckpoint, IngestBatchMustBePositive) {

@@ -84,6 +84,11 @@ void expect_identical(const Metrics& serial, const Metrics& sharded, std::size_t
     EXPECT_EQ(a.calendar_linear, b.calendar_linear);
     EXPECT_EQ(a.mean_soc, b.mean_soc);
     EXPECT_EQ(a.final_soc, b.final_soc);
+    EXPECT_EQ(a.crashes, b.crashes);
+    EXPECT_EQ(a.reboot_drops, b.reboot_drops);
+    EXPECT_EQ(a.lost_in_outage, b.lost_in_outage);
+    EXPECT_EQ(a.recovery_s.count(), b.recovery_s.count());
+    EXPECT_EQ(a.recovery_s.mean(), b.recovery_s.mean());
   }
   const GatewayMetrics& ga = serial.gateway();
   const GatewayMetrics& gb = sharded.gateway();
@@ -99,6 +104,14 @@ void expect_identical(const Metrics& serial, const Metrics& sharded, std::size_t
   EXPECT_EQ(ga.acks_undecodable, gb.acks_undecodable);
   EXPECT_EQ(ga.duplicates, gb.duplicates);
   EXPECT_EQ(ga.recomputes_skipped, gb.recomputes_skipped);
+  EXPECT_EQ(ga.lost_outage, gb.lost_outage);
+  EXPECT_EQ(ga.acks_lost_outage, gb.acks_lost_outage);
+  EXPECT_EQ(ga.acks_lost_channel, gb.acks_lost_channel);
+  EXPECT_EQ(ga.reports_dropped_fault, gb.reports_dropped_fault);
+  EXPECT_EQ(ga.reports_duplicated_fault, gb.reports_duplicated_fault);
+  EXPECT_EQ(ga.reports_reordered_fault, gb.reports_reordered_fault);
+  EXPECT_EQ(ga.reports_corrupted_fault, gb.reports_corrupted_fault);
+  EXPECT_EQ(ga.reports_truncated_fault, gb.reports_truncated_fault);
   const LedgerCounters fa = serial.summarize().feedback;
   const LedgerCounters fb = sharded.summarize().feedback;
   EXPECT_EQ(fa.reports_accepted, fb.reports_accepted);
@@ -174,9 +187,12 @@ TEST(ShardEnginePlanner, SerialFallbackConditions) {
     EXPECT_EQ(plan.serial_reason, "shards <= 1 requested");
   }
   {
+    // Fault injection no longer forces serial: each shard rebuilds the full
+    // FaultPlan from the 0xfa17 fork and its streams are keyed by global
+    // gateway / node ids.
     ScenarioConfig c = city(16, 4, 4);
     c.faults.outage_random_per_day = 1.0;
-    EXPECT_TRUE(plan_shards(c, plan_deployment(c, root), 4).serial);
+    EXPECT_FALSE(plan_shards(c, plan_deployment(c, root), 4).serial);
   }
   {
     ScenarioConfig c = city(16, 4, 4);
@@ -260,6 +276,65 @@ TEST(ShardEngineIdentity, TwoShardsBitIdenticalToSerial) {
   for (std::uint32_t id = 0; id < 48; ++id) {
     EXPECT_EQ(serial.server().w_for(id), sharded.w_for(id)) << "node " << id;
   }
+}
+
+TEST(ShardEngineIdentity, FaultedFourShardsBitIdenticalToSerial) {
+  // Kitchen-sink fault injection across four shards: daily + random gateway
+  // outages, Gilbert-Elliott ACK loss, node crashes, report-pipe faults,
+  // and a solar drought. Each shard rebuilds the full FaultPlan from the
+  // same 0xfa17 fork; the per-gateway / per-node streams must regenerate
+  // the serial draws exactly.
+  ScenarioConfig c = city(48, 4, 4);
+  c.faults.outage_daily_start = Time::from_hours(9.0);
+  c.faults.outage_daily_duration = Time::from_hours(2.0);
+  c.faults.outage_random_per_day = 1.0;
+  c.faults.ack_loss_good = 0.02;
+  c.faults.ack_loss_bad = 0.8;
+  c.faults.crash_per_year = 24.0;
+  c.faults.report_loss = 0.1;
+  c.faults.report_reorder = 0.1;
+  c.faults.report_corrupt = 0.05;
+  c.faults.drought_start = Time::from_days(0.5);
+  c.faults.drought_duration = Time::from_days(1.0);
+  c.faults.drought_scale = 0.3;
+  const Time duration = Time::from_days(2.0);
+
+  Network serial{c};
+  serial.run_until(duration);
+  serial.finalize_metrics();
+
+  ShardedNetwork sharded{c};
+  ASSERT_FALSE(sharded.serial());
+  EXPECT_EQ(sharded.plan().effective, 4);
+  sharded.run_until(Time::from_days(0.7));
+  sharded.run_until(duration);
+  sharded.finalize_metrics();
+
+  expect_identical(serial.metrics(), sharded.metrics(), 48);
+  const NetworkSummary sa = serial.metrics().summarize();
+  const NetworkSummary sb = sharded.metrics().summarize();
+  EXPECT_EQ(sa.total_outage_s, sb.total_outage_s);
+  EXPECT_GT(sb.total_outage_s, 0.0);
+  EXPECT_EQ(serial.max_degradation(), sharded.max_degradation());
+  for (std::uint32_t id = 0; id < 48; ++id) {
+    EXPECT_EQ(serial.server().w_for(id), sharded.w_for(id)) << "node " << id;
+  }
+}
+
+TEST(ShardEngineFallback, SerialReasonSurfacesInMergedMetrics) {
+  // A run that requests shards but degenerates to serial must say so in the
+  // summary; a genuinely sharded run leaves the field empty.
+  ShardedNetwork fallback{city(8, 1, 4)};
+  ASSERT_TRUE(fallback.serial());
+  fallback.run_until(Time::from_hours(1.0));
+  fallback.finalize_metrics();
+  EXPECT_EQ(fallback.metrics().summarize().serial_reason, "single collision domain");
+
+  ShardedNetwork sharded{city(16, 4, 2)};
+  ASSERT_FALSE(sharded.serial());
+  sharded.run_until(Time::from_hours(1.0));
+  sharded.finalize_metrics();
+  EXPECT_TRUE(sharded.metrics().summarize().serial_reason.empty());
 }
 
 TEST(ShardEngineIdentity, FourShardsMatchTwoShards) {

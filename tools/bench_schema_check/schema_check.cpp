@@ -369,6 +369,26 @@ void check_ingest(Checker& check, const JsonValue& root) {
   check.require_monotone_axis(root, "dirty_sweep", "dirty_fraction");
 }
 
+void check_resume(Checker& check, const JsonValue& root) {
+  for (const char* key : {"nodes", "gateways", "shards", "days", "epochs", "kill_epoch",
+                          "checkpoint_bytes", "checkpoint_write_s", "restore_s", "fresh_wall_s",
+                          "resumed_wall_s"}) {
+    check.require_number(root, key);
+  }
+  check.require_true(root, "bit_identical");
+  if (const JsonValue* v = check.require_number(root, "checkpoint_bytes");
+      v != nullptr && v->number <= 0.0) {
+    check.issue("checkpoint_bytes must be positive");
+  }
+  const JsonValue* epochs = find(root, "epochs");
+  const JsonValue* kill = find(root, "kill_epoch");
+  if (epochs != nullptr && kill != nullptr && epochs->kind == JsonValue::Kind::kNumber &&
+      kill->kind == JsonValue::Kind::kNumber &&
+      !(kill->number > 0.0 && kill->number < epochs->number)) {
+    check.issue("kill_epoch must fall strictly inside (0, epochs)");
+  }
+}
+
 void check_shard(Checker& check, const JsonValue& root) {
   check.require_number(root, "host_cores");
   check.require(root, "metric_note", JsonValue::Kind::kString, "string");
@@ -436,6 +456,8 @@ std::vector<std::string> check_bench_json(const std::string& filename, std::stri
     check_ingest(check, root);
   } else if (base == "BENCH_shard.json") {
     check_shard(check, root);
+  } else if (base == "BENCH_resume.json") {
+    check_resume(check, root);
   }
   // Unknown BENCH files pass on the generic contract checked above.
   return check.take();
