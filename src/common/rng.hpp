@@ -15,6 +15,41 @@ namespace blam {
 /// splitmix64 step; used for seeding and stream derivation.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
 
+/// The RNG-salt registry: every stream/fork salt used anywhere in src/ lives
+/// here, under a name that says which subsystem owns the derived stream.
+/// One table makes collisions impossible to miss (two forks of the same
+/// parent with equal salts draw identical sequences) and keeps every stream
+/// derivation greppable. blam-analyze rule R1 enforces this: literal salts
+/// at call sites and duplicate values in this table are errors.
+namespace salt {
+
+/// Stream id of every scenario root `Rng{seed, kRootStream}`.
+inline constexpr std::uint64_t kRootStream = 0;
+/// Stream id of the solar trace generator (independent of the root chain so
+/// traces can be shared across scenarios with different seeds).
+inline constexpr std::uint64_t kSolarTrace = 0x501a7;
+
+// Forks of the scenario root.
+inline constexpr std::uint64_t kTopology = 0x7090;
+inline constexpr std::uint64_t kShadowing = 0x5ad0;
+inline constexpr std::uint64_t kTraffic = 0x7aff1c;
+inline constexpr std::uint64_t kFaultPlan = 0xfa17;
+inline constexpr std::uint64_t kInterferer = 0xa11e4;
+/// Per-node streams are `fork(kNodeStreamBase + node index)`.
+inline constexpr std::uint64_t kNodeStreamBase = 0x0de;
+
+// Forks of the per-node stream.
+inline constexpr std::uint64_t kForecaster = 0x5eca57;
+
+// Forks of the fault-plan stream (one per fault source, so the sources stay
+// independent and adding one never shifts another's draws).
+inline constexpr std::uint64_t kOutage = 0x007a6e;
+inline constexpr std::uint64_t kAckChannel = 0xacc0;
+inline constexpr std::uint64_t kCrash = 0xc4a5;
+inline constexpr std::uint64_t kReportPipe = 0x5eb0;
+
+}  // namespace salt
+
 /// xoshiro256++ engine with convenience distributions.
 class Rng {
  public:

@@ -245,6 +245,7 @@ class DegradationService {
   LedgerStore store_;
   /// Arrival-order staging queue (enqueue_report / drain_queue).
   SocIngestQueue queue_;
+  // blam-ckpt: skip -- batching policy from ScenarioConfig::ingest_batch, re-applied at construction
   std::size_t ingest_batch_{1};
 
   // Integrity/health policy columns, parallel to store_ rows.
@@ -274,6 +275,7 @@ class DegradationService {
   std::vector<NodeHandle> handles_by_id_;
 
   double max_degradation_{0.0};
+  // blam-ckpt: skip -- shard-reducer wiring, re-attached by the owning engine
   FleetMaxCombiner* combiner_{nullptr};
   LedgerCounters counters_;
 };

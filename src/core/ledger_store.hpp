@@ -143,6 +143,7 @@ class LedgerStore {
 
   DegradationModel model_;
   double default_temperature_c_;
+  // blam-ckpt: skip -- model constant, copied from DegradationParams at construction
   double k6_;
   std::uint32_t held_slots_;
 
@@ -169,6 +170,7 @@ class LedgerStore {
   // Full cycle_linear cache (closed sum + residual chain, left-associated
   // exactly as the tracker computed it), invalidated by any rainflow
   // mutation; keeps recompute O(dirty stacks), bit-exact.
+  // blam-ckpt: skip -- cycle_linear cache; residual_cache_valid_ starts false and entries regenerate on demand
   std::vector<double> residual_cache_;
   std::vector<std::uint8_t> residual_cache_valid_;
 

@@ -79,8 +79,10 @@ class SocIngestQueue {
 
  private:
   std::vector<Record> records_;
+  // blam-ckpt: skip -- always empty at a checkpoint: DegradationService::checkpoint drains the queue first
   std::vector<SocSample> samples_;
   std::size_t head_{0};
+  // blam-ckpt: skip -- capacity telemetry (high-water reporting), not simulation state
   std::uint64_t total_pushed_{0};
 };
 

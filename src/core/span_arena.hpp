@@ -38,6 +38,7 @@ class SpanArena {
   struct Ref {
     std::uint32_t offset{0};
     std::uint32_t size{0};
+    // blam-ckpt: skip -- arena refs are rebuilt by the ledger restore path reallocating every span
     std::int8_t cls{-1};
   };
 
@@ -115,6 +116,7 @@ class SpanArena {
   }
 
   std::vector<T> pool_;
+  // blam-ckpt: skip -- allocator free-lists; the ledger restore path reallocates every span
   std::array<std::vector<std::uint32_t>, kClasses> free_;
 };
 

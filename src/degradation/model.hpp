@@ -91,6 +91,7 @@ class DegradationModel {
   [[nodiscard]] double linear_for(double d) const;
 
  private:
+  // blam-ckpt: skip -- model constants; rebuilt from ScenarioConfig::degradation
   DegradationParams params_;
 };
 

@@ -78,6 +78,7 @@ class RainflowCounter {
   void accept_turning_point(double value);
   void collapse();
 
+  // blam-ckpt: skip -- callback wiring, re-bound at construction
   CycleCallback on_cycle_;
   std::vector<double> stack_;
   double last_{0.0};

@@ -42,7 +42,7 @@ SolarTrace::SolarTrace(const SolarTraceConfig& config) {
     throw std::invalid_argument{"SolarTrace: invalid day-length range"};
   }
 
-  Rng rng{config.seed, /*stream=*/0x501a7ULL};
+  Rng rng{config.seed, salt::kSolarTrace};
   watts_.resize(static_cast<std::size_t>(kDaysPerYear) * kMinutesPerDay);
 
   Weather weather = Weather::kCloudy;

@@ -114,7 +114,9 @@ class Harvester {
   void energy_windows(Time start, Time window, int n, Energy* out) const;
 
  private:
+  // blam-ckpt: skip -- wiring; the trace is immutable and regenerated from (seed, solar config)
   const SolarTrace* trace_;
+  // blam-ckpt: skip -- deployment output; plan_deployment replays deterministically from the scenario seed
   double panel_scale_;
   double jitter_{1.0};
 };

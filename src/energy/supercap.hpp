@@ -38,9 +38,12 @@ class Supercap {
   void restore_stored(Energy stored) { stored_ = stored; }
 
  private:
+  // blam-ckpt: skip -- construction input (scenario supercap_tx_buffer); stored is serialized
   Energy capacity_;
   Energy stored_{};
+  // blam-ckpt: skip -- construction input (scenario supercap_efficiency)
   double efficiency_;
+  // blam-ckpt: skip -- construction input (scenario supercap_leak_per_day)
   double leak_per_day_;
 };
 

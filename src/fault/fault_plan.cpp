@@ -5,17 +5,6 @@
 
 namespace blam {
 
-namespace {
-
-// Child-stream salts: one per fault source, so the sources stay independent
-// and adding one never shifts another's draws.
-constexpr std::uint64_t kOutageSalt = 0x007a6e;
-constexpr std::uint64_t kAckChannelSalt = 0xacc0;
-constexpr std::uint64_t kCrashSalt = 0xc4a5;
-constexpr std::uint64_t kReportSalt = 0x5eb0;
-
-}  // namespace
-
 bool FaultPlanConfig::outages_enabled() const {
   return outage_daily_duration > Time::zero() || outage_random_per_day > 0.0;
 }
@@ -88,7 +77,7 @@ void FaultPlanConfig::validate() const {
 }
 
 FaultPlan::FaultPlan(const FaultPlanConfig& config, Rng base)
-    : config_{config}, base_{base}, outage_rng_{base.fork(kOutageSalt)} {
+    : config_{config}, base_{base}, outage_rng_{base.fork(salt::kOutage)} {
   config_.validate();
 }
 
@@ -200,7 +189,7 @@ bool FaultPlan::downlink_lost(int gateway_id, Time t) {
     // (and therefore traffic order) cannot change its realization.
     it = ack_channels_
              .emplace(gateway_id,
-                      GilbertElliott{params, base_.fork(kAckChannelSalt +
+                      GilbertElliott{params, base_.fork(salt::kAckChannel +
                                                         static_cast<std::uint64_t>(gateway_id))})
              .first;
   }
@@ -227,7 +216,7 @@ void FaultPlan::restore_channel_states(
   for (const auto& [gateway_id, state] : states) {
     auto it = ack_channels_
                   .emplace(gateway_id,
-                           GilbertElliott{params, base_.fork(kAckChannelSalt +
+                           GilbertElliott{params, base_.fork(salt::kAckChannel +
                                                              static_cast<std::uint64_t>(
                                                                  gateway_id))})
                   .first;
@@ -236,11 +225,11 @@ void FaultPlan::restore_channel_states(
 }
 
 Rng FaultPlan::crash_stream(std::uint32_t node_id) const {
-  return base_.fork(kCrashSalt + (static_cast<std::uint64_t>(node_id) << 16));
+  return base_.fork(salt::kCrash + (static_cast<std::uint64_t>(node_id) << 16));
 }
 
 Rng FaultPlan::report_stream(std::uint32_t node_id) const {
-  return base_.fork(kReportSalt + (static_cast<std::uint64_t>(node_id) << 16));
+  return base_.fork(salt::kReportPipe + (static_cast<std::uint64_t>(node_id) << 16));
 }
 
 double FaultPlan::drought_scale_at(Time t) const {

@@ -160,17 +160,25 @@ class FaultPlan {
   void ensure_outages(Time t) const;
   void rebuild_prefix() const;
 
+  // blam-ckpt: skip -- construction input; the plan is rebuilt from the same ScenarioConfig::faults
   FaultPlanConfig config_;
   Rng base_;
 
   // Lazily materialized outage schedule (mutable: queries are logically
   // const, the schedule is deterministic in (config, seed) alone).
+  // blam-ckpt: skip -- lazily materialized schedule state, deterministic in (config, seed) alone
   mutable Rng outage_rng_;
+  // blam-ckpt: skip -- lazily materialized schedule, deterministic in (config, seed) alone
   mutable std::vector<Interval> outages_;       // merged, sorted
+  // blam-ckpt: skip -- derived from outages_, rebuilt by rebuild_prefix()
   mutable std::vector<double> outage_prefix_s_; // cumulative seconds up to outages_[i].end
+  // blam-ckpt: skip -- lazily materialized schedule cursor, deterministic in (config, seed) alone
   mutable Time outage_horizon_{Time::zero()};
+  // blam-ckpt: skip -- lazily materialized schedule cursor, deterministic in (config, seed) alone
   mutable Time next_random_start_{Time::zero()};
+  // blam-ckpt: skip -- lazily materialized schedule cursor, deterministic in (config, seed) alone
   mutable std::int64_t next_daily_day_{0};
+  // blam-ckpt: skip -- lazily materialized schedule latch, deterministic in (config, seed) alone
   mutable bool random_seeded_{false};
 
   std::map<int, GilbertElliott> ack_channels_;  // per gateway id

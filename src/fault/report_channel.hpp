@@ -81,6 +81,7 @@ class ReportFaultChannel {
 
   Lane& lane(std::uint32_t node_id);
 
+  // blam-ckpt: skip -- wiring; lane RNGs and held reports are serialized through the server section
   const FaultPlan* plan_;
   // Ordered map: flush() iterates it, and flush order must not depend on
   // hash layout.

@@ -40,6 +40,7 @@ class Ewma {
   }
 
  private:
+  // blam-ckpt: skip -- construction input (scenario ewma_beta); value and initialized are serialized
   double beta_;
   double value_{0.0};
   bool initialized_{false};

@@ -48,6 +48,7 @@ class RetxEstimator {
 
  private:
   std::vector<WindowStats> counts_;
+  // blam-ckpt: skip -- construction input (scenario timings); the per-window counters are serialized
   int max_retx_;
 };
 

@@ -41,7 +41,9 @@ class SolarForecaster {
   void restore_rng(const Rng::State& state) { rng_.restore(state); }
 
  private:
+  // blam-ckpt: skip -- wiring, re-attached at construction
   const Harvester* harvester_;
+  // blam-ckpt: skip -- construction input (scenario forecast_error_sigma); the RNG state is serialized
   double error_sigma_;
   Rng rng_;
 };

@@ -39,14 +39,20 @@ enum class CodingRate : std::uint8_t { kCR4_5 = 1, kCR4_6 = 2, kCR4_7 = 3, kCR4_
 /// Complete parameter set for one transmission.
 struct TxParams {
   SpreadingFactor sf{SpreadingFactor::kSF10};
+  // blam-ckpt: skip -- scenario constant; ADR only ever changes sf and tx_power_dbm, which are serialized
   double bandwidth_hz{125e3};
+  // blam-ckpt: skip -- scenario constant; ADR only ever changes sf and tx_power_dbm, which are serialized
   CodingRate cr{CodingRate::kCR4_5};
+  // blam-ckpt: skip -- scenario constant; ADR only ever changes sf and tx_power_dbm, which are serialized
   int preamble_symbols{8};
+  // blam-ckpt: skip -- scenario constant (ScenarioConfig::payload_bytes), re-applied at construction
   int payload_bytes{10};
   double tx_power_dbm{14.0};
   /// Low-data-rate optimization; mandated for SF11/SF12 at 125 kHz.
+  // blam-ckpt: skip -- recomputed by with_auto_ldro() whenever sf changes (construction and ADR apply)
   bool low_data_rate_optimize{false};
   /// Explicit header (LoRaWAN always uses it); adds CRC/header symbols.
+  // blam-ckpt: skip -- LoRaWAN constant, never mutated after construction
   bool explicit_header{true};
 
   /// Returns a copy with low_data_rate_optimize set per the LoRa spec rule

@@ -66,4 +66,26 @@ std::optional<AdrCommand> AdrController::advise(std::uint32_t node_id,
   return next;
 }
 
+std::vector<AdrController::NodeSnapshot> AdrController::snapshot() const {
+  std::vector<NodeSnapshot> out;
+  out.reserve(nodes_.size());
+  for (const auto& [node_id, history] : nodes_) {
+    NodeSnapshot snap;
+    snap.node_id = node_id;
+    snap.snr_db.assign(history.snr_db.begin(), history.snr_db.end());
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NodeSnapshot& a, const NodeSnapshot& b) { return a.node_id < b.node_id; });
+  return out;
+}
+
+void AdrController::restore(const std::vector<NodeSnapshot>& nodes) {
+  nodes_.clear();
+  for (const NodeSnapshot& snap : nodes) {
+    History& h = nodes_[snap.node_id];
+    h.snr_db.assign(snap.snr_db.begin(), snap.snr_db.end());
+  }
+}
+
 }  // namespace blam

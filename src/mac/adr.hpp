@@ -14,6 +14,7 @@
 #include <deque>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "lora/params.hpp"
 
@@ -59,11 +60,26 @@ class AdrController {
 
   [[nodiscard]] const Config& config() const { return config_; }
 
+  /// One node's SNR history, for "blamsim v1" engine checkpoints.
+  struct NodeSnapshot {
+    std::uint32_t node_id{0};
+    std::vector<double> snr_db;  // oldest first
+  };
+
+  /// Snapshots every node's history, sorted by node id (the map iterates in
+  /// hash order; checkpoints must be byte-stable for identical state).
+  [[nodiscard]] std::vector<NodeSnapshot> snapshot() const;
+
+  /// Replaces all history with the snapshot's (restore is a rebuild: the
+  /// controller was freshly constructed from the same scenario config).
+  void restore(const std::vector<NodeSnapshot>& nodes);
+
  private:
   struct History {
     std::deque<double> snr_db;
   };
 
+  // blam-ckpt: skip -- construction input, rebuilt by enable_adr() from the same ScenarioConfig
   Config config_;
   // blam-lint: allow(D2) -- lookup-only by node id (observe/advise); never iterated
   std::unordered_map<std::uint32_t, History> nodes_;

@@ -30,6 +30,7 @@ class BlamMac final : public MacPolicy {
 
  private:
   double theta_;
+  // blam-ckpt: skip -- stateless selection strategy, rebuilt at construction
   WindowSelector selector_;
   WindowSelection last_{};
 };

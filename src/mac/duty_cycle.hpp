@@ -31,6 +31,7 @@ class DutyCycleLimiter {
   void restore_next_allowed(Time at) { next_allowed_ = at; }
 
  private:
+  // blam-ckpt: skip -- construction input (scenario duty_cycle); next_allowed_ is serialized
   double max_duty_;
   Time next_allowed_{Time::zero()};
 };

@@ -80,11 +80,16 @@ class AckPlanner {
 
   [[nodiscard]] TxParams ack_params(SpreadingFactor sf, double bandwidth_hz, int bytes) const;
 
+  // blam-ckpt: skip -- construction input, rebuilt from the same ScenarioConfig timings
   ClassATimings timings_;
+  // blam-ckpt: skip -- pure function of the scenario, rebuilt at construction
   ChannelPlan plan_;
+  // blam-ckpt: skip -- construction input (scenario downlink_tx_dbm)
   double downlink_tx_dbm_;
+  // blam-ckpt: skip -- construction input (scenario rx1_bandwidth_hz)
   double rx1_bandwidth_hz_;
   /// ACK airtimes recur for the same (SF, length) pairs; memoized.
+  // blam-ckpt: skip -- memo cache; entries regenerate on demand from TxParams
   TxTimingCache timing_;
   // Reservations kept sorted by start time. Live entries are
   // [head_, size()); prune() advances head_ and compacts occasionally, so

@@ -23,9 +23,9 @@ Energy attempt_energy(const ScenarioConfig& config, SpreadingFactor sf) {
 }
 
 DeploymentPlan plan_deployment(const ScenarioConfig& config, const Rng& root) {
-  Rng topo_rng = root.fork(0x7090);
-  Rng shadow_rng = root.fork(0x5ad0);
-  Rng traffic_rng = root.fork(0x7aff1c);
+  Rng topo_rng = root.fork(salt::kTopology);
+  Rng shadow_rng = root.fork(salt::kShadowing);
+  Rng traffic_rng = root.fork(salt::kTraffic);
 
   DeploymentPlan plan;
   const Position center{0.0, 0.0};

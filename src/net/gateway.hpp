@@ -135,18 +135,26 @@ class Gateway {
 
   int id_;
   int fault_id_;
+  // blam-ckpt: skip -- deployment output; plan_deployment replays deterministically from the scenario seed
   Position position_;
   Simulator& sim_;
+  // blam-ckpt: skip -- wiring; server state rides in its own engine-slice section
   NetworkServer& server_;
+  // blam-ckpt: skip -- wiring; checkpointed metrics ride in the gateway-metrics section
   Metrics& metrics_;
+  // blam-ckpt: skip -- pure function of the scenario, rebuilt at construction
   ChannelPlan plan_;
+  // blam-ckpt: skip -- construction input, rebuilt from the same ScenarioConfig
   Config config_;
+  // blam-ckpt: skip -- wiring; fault-plan state rides in the engine slice's faults section
   FaultPlan* faults_{nullptr};
   InterferenceTracker interference_;
   AckPlanner ack_planner_;
   int busy_paths_{0};
   std::uint64_t next_packet_id_{1};
+  // blam-ckpt: skip -- derived constant, computed from the scenario timings at construction
   Time max_ack_end_delay_{};
+  // blam-ckpt: skip -- memo cache; entries regenerate on demand from TxParams
   TxTimingCache timing_;
   std::vector<PendingReception> rx_pool_;
   std::vector<std::uint32_t> rx_free_;

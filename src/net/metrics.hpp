@@ -185,8 +185,11 @@ class Metrics {
  private:
   std::vector<NodeMetrics> nodes_;
   GatewayMetrics gateway_;
+  // blam-ckpt: skip -- finalize-time summary, recomputed by finalize_metrics() from live state
   double total_outage_s_{0.0};
+  // blam-ckpt: skip -- finalize-time summary, recomputed by finalize_metrics() from the ledger
   LedgerCounters feedback_;
+  // blam-ckpt: skip -- finalize-time annotation, re-stamped by the owning engine
   std::string serial_reason_;
 };
 

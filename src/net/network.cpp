@@ -21,7 +21,7 @@ Network::Network(const ScenarioConfig& config, std::shared_ptr<const SolarTrace>
 }
 
 void Network::build(std::shared_ptr<const SolarTrace> trace) {
-  const Rng root{config_.seed, /*stream=*/0};
+  const Rng root{config_.seed, salt::kRootStream};
   DeploymentPlan deployment = plan_deployment(config_, root);
   worst_attempt_energy_ = deployment.worst_attempt_energy;
 
@@ -67,7 +67,7 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
   // shadowing / traffic draws above — and a fault-free scenario builds no
   // plan at all, keeping it bit-identical to pre-fault builds.
   if (config_.faults.any()) {
-    faults_ = std::make_unique<FaultPlan>(config_.faults, root.fork(0xfa17));
+    faults_ = std::make_unique<FaultPlan>(config_.faults, root.fork(salt::kFaultPlan));
     server_->attach_fault_plan(faults_.get());
   }
 
@@ -88,7 +88,7 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
   if (config_.interference.tx_per_hour > 0.0) {
     interferer_ = std::make_unique<ExternalInterferer>(sim_, gateways_, plan_,
                                                        config_.interference,
-                                                       root.fork(0xa11e4));
+                                                       root.fork(salt::kInterferer));
   }
 
   nodes_.reserve(deployment.nodes.size());
@@ -107,7 +107,7 @@ void Network::build(std::shared_ptr<const SolarTrace> trace) {
     server_->register_node(init.id);
     nodes_.push_back(std::make_unique<Node>(init, config_, sim_, gateways_, plan_, *trace_,
                                             model_, *thermal_, *utility_, metrics_.node(i),
-                                            root.fork(0x0de + i)));
+                                            root.fork(salt::kNodeStreamBase + i)));
     nodes_.back()->attach_packet_log(packet_log_.get());
     nodes_.back()->attach_auditor(audit_.get());
     if (faults_ != nullptr) nodes_.back()->attach_fault_plan(faults_.get());
@@ -164,9 +164,8 @@ void Network::assert_checkpointable() const {
   if (interferer_ != nullptr) {
     throw std::runtime_error{"checkpoint: external interferer is not serialized"};
   }
-  if (config_.adr_enabled) {
-    throw std::runtime_error{"checkpoint: server ADR history is not serialized"};
-  }
+  // ADR history is covered: NetworkServer::checkpoint_state serializes the
+  // per-node SNR windows, so ADR-enabled runs checkpoint and resume exactly.
 }
 
 void Network::checkpoint_state(StateWriter& w) {

@@ -67,7 +67,7 @@ class Network {
   /// Serializes the whole engine slice (clock + server + gateways + nodes +
   /// fault channels) at a quiescent instant — call only between run_until
   /// calls. Throws std::runtime_error for configurations with unserialized
-  /// components (audit, packet log, external interferer, server ADR).
+  /// components (audit, packet log, external interferer).
   void checkpoint_state(StateWriter& w);
 
   /// Restores a checkpoint written by checkpoint_state into this freshly
@@ -79,21 +79,30 @@ class Network {
   void assert_checkpointable() const;
   void build(std::shared_ptr<const SolarTrace> trace);
 
+  // blam-ckpt: skip -- construction input; restore_state requires a network freshly built from the same ScenarioConfig
   ScenarioConfig config_;
   Simulator sim_;
   ChannelPlan plan_;
+  // blam-ckpt: skip -- pure function of ScenarioConfig::degradation, rebuilt at construction
   DegradationModel model_;
+  // blam-ckpt: skip -- pure function of the scenario thermal config, rebuilt at construction
   std::unique_ptr<TemperatureModel> thermal_;
   Metrics metrics_;
+  // blam-ckpt: skip -- immutable once built; regenerated from (seed, solar config) or shared across runs
   std::shared_ptr<const SolarTrace> trace_;
+  // blam-ckpt: skip -- pure function of the scenario, rebuilt at construction
   std::unique_ptr<UtilityFunction> utility_;
   std::unique_ptr<NetworkServer> server_;
+  // blam-ckpt: skip -- observability; assert_checkpointable refuses audited runs
   std::unique_ptr<Auditor> audit_;
   std::unique_ptr<FaultPlan> faults_;
   std::vector<std::unique_ptr<Gateway>> gateways_;
+  // blam-ckpt: skip -- assert_checkpointable refuses runs with an external interferer
   std::unique_ptr<ExternalInterferer> interferer_;
+  // blam-ckpt: skip -- observability; assert_checkpointable refuses packet-log runs
   std::unique_ptr<PacketLog> packet_log_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // blam-ckpt: skip -- deployment output; plan_deployment replays deterministically from the scenario seed
   Energy worst_attempt_energy_{};
 };
 

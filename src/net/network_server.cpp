@@ -198,6 +198,17 @@ void NetworkServer::checkpoint_state(StateWriter& w) {
     }
   }
 
+  w.put_u64(adr_.has_value() ? 1 : 0);
+  if (adr_.has_value()) {
+    const auto nodes = adr_->snapshot();
+    w.put_u64(nodes.size());
+    for (const AdrController::NodeSnapshot& node : nodes) {
+      w.put_u64(node.node_id);
+      w.put_u64(node.snr_db.size());
+      for (const double snr : node.snr_db) w.put_double(snr);
+    }
+  }
+
   w.put_u64(report_faults_.has_value() ? 1 : 0);
   if (report_faults_.has_value()) {
     const auto lanes = report_faults_->snapshot();
@@ -269,6 +280,20 @@ void NetworkServer::restore_state(StateReader& r,
       node.theta = r.get_double();
     }
     theta_->restore(nodes);
+  }
+
+  const bool has_adr = r.get_u64() != 0;
+  if (has_adr != adr_.has_value()) {
+    throw std::runtime_error{"NetworkServer::restore_state: ADR controller mismatch"};
+  }
+  if (has_adr) {
+    std::vector<AdrController::NodeSnapshot> nodes(r.get_u64());
+    for (AdrController::NodeSnapshot& node : nodes) {
+      node.node_id = static_cast<std::uint32_t>(r.get_u64());
+      node.snr_db.resize(r.get_u64());
+      for (double& snr : node.snr_db) snr = r.get_double();
+    }
+    adr_->restore(nodes);
   }
 
   const bool has_report_faults = r.get_u64() != 0;

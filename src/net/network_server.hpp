@@ -150,8 +150,11 @@ class NetworkServer {
   DegradationService service_;
   std::optional<AdrController> adr_;
   std::optional<ThetaController> theta_;
+  // blam-ckpt: skip -- wiring; checkpointed metrics ride in the gateway-metrics section
   Metrics* metrics_{nullptr};
+  // blam-ckpt: skip -- wiring; fault-plan state rides in the engine slice's faults section
   const FaultPlan* faults_{nullptr};
+  // blam-ckpt: skip -- observability wiring; audited runs refuse checkpoints
   Auditor* audit_{nullptr};
   /// Fault channel between PHY and ledger (engaged only when the plan has
   /// report faults; absent otherwise so fault-free runs take the direct
@@ -159,13 +162,16 @@ class NetworkServer {
   std::optional<ReportFaultChannel> report_faults_;
   /// Reused sink closure: deliver() may fan one report out to several
   /// ingest_report calls (duplication, reorder release).
+  // blam-ckpt: skip -- reused closure, re-bound at construction
   ReportFaultChannel::Sink ingest_sink_;
+  // blam-ckpt: skip -- test-only probe wiring, re-attached by the test after restore
   TruthProbe truth_probe_;
   /// Highest seq delivered per node, indexed by node id (-1 = none yet).
   /// Node ids are dense in every scenario, so a flat vector replaces the
   /// hash lookup that sat on the per-delivery path.
   std::vector<std::int64_t> last_seq_;
   std::vector<PendingFrame> pending_pool_;
+  // blam-ckpt: skip -- free-list; restore_state rebuilds it while re-acquiring pending slots
   std::vector<std::uint32_t> pending_free_;
   /// (frame key, pool slot) for frames currently aggregating; at most a
   /// handful are in flight at once, so lookup is a linear scan.
@@ -174,6 +180,7 @@ class NetworkServer {
   std::uint64_t recomputes_{0};
   /// Thermal noise floor at the 125 kHz uplink bandwidth (constant per run,
   /// previously recomputed — log10 and all — for every delivered frame).
+  // blam-ckpt: skip -- physical constant, recomputed at construction
   double noise_floor_125k_dbm_;
 };
 

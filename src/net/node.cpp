@@ -33,7 +33,7 @@ Node::Node(const Init& init, const ScenarioConfig& config, Simulator& sim,
       harvester_{trace, init.panel_scale},
       switch_{battery_, 1.0},  // the policy's theta is installed below
       tracker_{model, config.temperature_c},
-      forecaster_{harvester_, config.forecast_error_sigma, rng.fork(0x5eca57)},
+      forecaster_{harvester_, config.forecast_error_sigma, rng.fork(salt::kForecaster)},
       etx_ewma_{config.ewma_beta},
       retx_estimator_{static_cast<std::size_t>(n_windows_), config.timings.max_transmissions - 1},
       policy_{make_policy(config)},

@@ -186,21 +186,35 @@ class Node {
 
   // --- identity / configuration -------------------------------------------
   std::uint32_t id_;
+  // blam-ckpt: skip -- deployment output; plan_deployment replays deterministically from the scenario seed
   Position position_;
+  // blam-ckpt: skip -- deployment output; plan_deployment replays deterministically from the scenario seed
   Time period_;
+  // blam-ckpt: skip -- derived from the scenario (windows_for) at construction
   int n_windows_;
   TxParams tx_params_;
+  // blam-ckpt: skip -- deployment output; plan_deployment replays deterministically from the scenario seed
   std::vector<double> link_losses_db_;
+  // blam-ckpt: skip -- derived from link_losses_db_ at construction
   double min_link_loss_db_;
+  // blam-ckpt: skip -- scenario input; the engine is rebuilt from the same config before restore
   const ScenarioConfig* config_;
+  // blam-ckpt: skip -- wiring; the clock itself is restored through the simulator section
   Simulator* sim_;
+  // blam-ckpt: skip -- wiring, re-attached at construction
   const std::vector<std::unique_ptr<Gateway>>* gateways_;
+  // blam-ckpt: skip -- wiring; the channel plan is a pure function of the scenario
   const ChannelPlan* plan_;
+  // blam-ckpt: skip -- wiring; the thermal model is a pure function of the scenario
   const TemperatureModel* thermal_;
+  // blam-ckpt: skip -- wiring; the utility function is a pure function of the scenario
   const UtilityFunction* utility_;
   NodeMetrics* metrics_;
+  // blam-ckpt: skip -- observability wiring; packet-log runs refuse checkpoints
   PacketLog* packet_log_{nullptr};
+  // blam-ckpt: skip -- wiring; fault-plan state rides in the engine slice's faults section
   const FaultPlan* faults_{nullptr};
+  // blam-ckpt: skip -- observability wiring; audited runs refuse checkpoints
   Auditor* audit_{nullptr};
 
   // --- energy subsystem ----------------------------------------------------
@@ -238,11 +252,15 @@ class Node {
   std::uint16_t report_seq_{0};
   /// Packet seq the current report generation was stamped for.
   std::uint32_t last_report_packet_{0};
+  // blam-ckpt: skip -- derived constant, recomputed from TxParams at construction and on ADR changes
   Energy single_attempt_energy_{};  // one TX + RX windows; EWMA warm-up value
+  // blam-ckpt: skip -- derived constant, recomputed from TxParams at construction and on ADR changes
   Energy max_packet_energy_{};      // DIF normalizer: full retransmission budget
+  // blam-ckpt: skip -- derived constant (both RX windows), fixed by the scenario radio/timings
   Energy listen_energy_{};          // both class-A RX windows (constant per run)
   /// Memoized airtime/energy per TxParams; mutable because the const cost
   /// estimators (attempt_demand/attempt_span) share it with start_attempt().
+  // blam-ckpt: skip -- memo cache; entries regenerate on demand from TxParams
   mutable TxTimingCache timing_;
 
   struct Pending {
@@ -275,9 +293,13 @@ class Node {
   bool has_samples_{false};
 
   // Scratch buffers reused every period (no per-period allocation).
+  // blam-ckpt: skip -- per-period scratch, overwritten before every use
   std::vector<Energy> harvest_scratch_;
+  // blam-ckpt: skip -- per-period scratch, overwritten before every use
   std::vector<Energy> cost_scratch_;
+  // blam-ckpt: skip -- per-period scratch, overwritten before every use
   WindowSelector::Workspace selector_workspace_;
+  // blam-ckpt: skip -- per-attempt scratch, rebuilt by build_frame() before every transmission
   UplinkFrame frame_scratch_;
 };
 

@@ -370,7 +370,7 @@ ShardedNetwork::ShardedNetwork(const ScenarioConfig& config,
   config_.validate();
   checkpoint_every_ = resolve_checkpoint_every();
   checkpoint_dir_ = resolve_checkpoint_dir();
-  const Rng root{config_.seed, /*stream=*/0};
+  const Rng root{config_.seed, salt::kRootStream};
   const DeploymentPlan deployment = plan_deployment(config_, root);
   plan_ = plan_shards(config_, deployment, resolve_shards(config_.shards));
   if (plan_.serial) {
@@ -414,7 +414,7 @@ void ShardedNetwork::build_shards(const DeploymentPlan& deployment,
   gw.interference_floor_dbm = config_.interference_floor_dbm;
 
   const std::size_t ingest_batch = resolve_ingest_batch(config_);
-  const Rng root{config_.seed, /*stream=*/0};
+  const Rng root{config_.seed, salt::kRootStream};
 
   shards_.reserve(static_cast<std::size_t>(n_shards));
   for (int s = 0; s < n_shards; ++s) {
@@ -441,7 +441,7 @@ void ShardedNetwork::build_shards(const DeploymentPlan& deployment,
       shard->server->enable_adaptive_theta(tc);
     }
     if (config_.faults.any()) {
-      shard->faults = std::make_unique<FaultPlan>(config_.faults, root.fork(0xfa17));
+      shard->faults = std::make_unique<FaultPlan>(config_.faults, root.fork(salt::kFaultPlan));
       shard->server->attach_fault_plan(shard->faults.get());
     }
     for (std::size_t g = 0; g < deployment.gateway_positions.size(); ++g) {
@@ -479,7 +479,7 @@ void ShardedNetwork::build_shards(const DeploymentPlan& deployment,
                                                     shard->channels, *trace_, shard->model,
                                                     *shard->thermal, *shard->utility,
                                                     shard->metrics.node(local),
-                                                    root.fork(0x0de + i)));
+                                                    root.fork(salt::kNodeStreamBase + i)));
       shard->node_ids.push_back(init.id);
       if (shard->faults != nullptr) shard->nodes.back()->attach_fault_plan(shard->faults.get());
       shard->nodes.back()->start();

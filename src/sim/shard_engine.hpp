@@ -236,25 +236,35 @@ class ShardedNetwork {
   /// BLAM_CHECKPOINT_DIR/blamsim.ckpt — the rolling checkpoint file.
   [[nodiscard]] std::string checkpoint_file_path() const;
 
+  // blam-ckpt: skip -- construction input; restore requires an engine freshly built from the same ScenarioConfig
   ScenarioConfig config_;
+  // blam-ckpt: skip -- re-derived by plan_shards() from the same config and deployment at construction
   ShardPlan plan_;
   /// Serial fallback: the whole deployment on the proven engine.
   std::unique_ptr<Network> network_;
   /// Sharded state (empty in serial mode).
+  // blam-ckpt: skip -- immutable once built; regenerated from (seed, solar config)
   std::shared_ptr<const SolarTrace> trace_;
+  // blam-ckpt: skip -- epoch-merge machinery, rebuilt at construction
   std::unique_ptr<FleetReducer> reducer_;
+  // blam-ckpt: skip -- thread coordination, rebuilt at construction
   std::unique_ptr<ShardBarrier> barrier_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // blam-ckpt: skip -- in-flight worker failures; a checkpoint is only cut at a healthy epoch barrier
   std::vector<std::exception_ptr> failures_;
+  // blam-ckpt: skip -- merge output, recomputed from the per-shard metrics at the next epoch
   Metrics merged_;
   Time cursor_{};
   /// Cooperative kill switch for wedged shards: polled by every shard's
   /// event loop, raised when the watchdog fires so join() always returns.
+  // blam-ckpt: skip -- watchdog latch; a resumed run starts unaborted by definition
   std::atomic<bool> abort_flag_{false};
   /// BLAM_CHECKPOINT_EVERY: dissemination epochs between rolling
   /// checkpoints (0 = off).
+  // blam-ckpt: skip -- env-resolved policy (BLAM_CHECKPOINT_EVERY), re-read at construction
   std::int64_t checkpoint_every_{0};
   /// BLAM_CHECKPOINT_DIR: directory for the rolling checkpoint file.
+  // blam-ckpt: skip -- env-resolved policy (BLAM_CHECKPOINT_DIR), re-read at construction
   std::string checkpoint_dir_;
 };
 

@@ -114,6 +114,31 @@ TEST(ShardEngineCheckpoint, SerialRoundTripBitIdentical) {
   ASSERT_GT(a.mean_prr, 0.0);
 }
 
+TEST(ShardEngineCheckpoint, AdrRoundTripBitIdentical) {
+  // ADR runs used to refuse checkpointing; the per-node SNR windows are now
+  // part of the "blamsim v1" stream (sorted by node id, so the bytes are
+  // stable), and an ADR-enabled run must resume bit-exactly.
+  ScenarioConfig c = city(16, 4, 1);
+  c.adr_enabled = true;
+  const Time mid = Time::from_days(0.7);
+  const Time end = Time::from_days(2.0);
+
+  ShardedNetwork uninterrupted{c};
+  uninterrupted.run_until(end);
+
+  ShardedNetwork original{c};
+  original.run_until(mid);
+  std::stringstream stream;
+  original.checkpoint(stream);
+
+  ShardedNetwork resumed{c};
+  resumed.restore(stream);
+  resumed.run_until(end);
+
+  EXPECT_EQ(checkpoint_text(resumed), checkpoint_text(uninterrupted));
+  EXPECT_EQ(resumed.max_degradation(), uninterrupted.max_degradation());
+}
+
 TEST(ShardEngineCheckpoint, FaultedFourShardRoundTripBitIdentical) {
   // The acceptance scenario: four shards, full fault injection, checkpoint
   // mid-epoch, kill the original, resume a fresh engine — every shard's

@@ -80,9 +80,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllUtilitiesAndWidths, UtilityPropertyTest,
     ::testing::Combine(::testing::Values("linear", "exponential", "step"),
                        ::testing::Values(1, 2, 10, 16, 60)),
-    [](const auto& info) {
-      return std::string{std::get<0>(info.param)} + "_n" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& suite_info) {
+      return std::string{std::get<0>(suite_info.param)} + "_n" +
+             std::to_string(std::get<1>(suite_info.param));
     });
 
 }  // namespace

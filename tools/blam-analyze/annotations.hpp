@@ -1,0 +1,41 @@
+// Internal: parsed `blam-ckpt:` / `blam-shared:` annotation maps shared
+// between the structure pass (which consumes well-formed annotations) and
+// the rule pass (which reports malformed ones as A1).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "blam-lint/lint.hpp"
+
+namespace blam::analyze::detail {
+
+struct CkptSkip {
+  std::string reason;
+};
+
+struct SharedNote {
+  std::string mechanism;
+  std::string reason;
+};
+
+struct AnnotationIssue {
+  int line{0};
+  std::string message;
+};
+
+struct Annotations {
+  /// Keyed by the source line the annotation covers (trailing comments
+  /// cover their own line, own-line comments cover the next line — the
+  /// blam-lint suppression convention).
+  std::map<int, CkptSkip> ckpt;
+  std::map<int, SharedNote> shared;
+  std::vector<AnnotationIssue> issues;
+};
+
+[[nodiscard]] Annotations parse_annotations(const lint::TokenizedSource& src);
+
+[[nodiscard]] std::string trim(std::string s);
+
+}  // namespace blam::analyze::detail

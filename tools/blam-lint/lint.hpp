@@ -46,9 +46,18 @@ struct Comment {
   bool own_line{false};
 };
 
+/// A preprocessor directive, captured verbatim (continuations joined) so
+/// cross-file passes (blam-analyze's include-graph walker) can read
+/// `#include` targets without re-scanning the raw source.
+struct Directive {
+  std::string text;  // from '#' (exclusive) to end of line, e.g. `include "a.hpp"`
+  int line{0};
+};
+
 struct TokenizedSource {
   std::vector<Token> tokens;
   std::vector<Comment> comments;
+  std::vector<Directive> directives;
 };
 
 /// Splits C++ source into tokens and comments. String/char literals become

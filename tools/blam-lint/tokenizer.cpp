@@ -92,19 +92,23 @@ void consume_raw_string(Cursor& cur) {
 }
 
 /// Consumes a preprocessor directive to end of line, honouring backslash
-/// continuations; the '#' has been consumed.
-void consume_directive(Cursor& cur) {
+/// continuations; the '#' has been consumed. Returns the directive text with
+/// continuations joined by a single space.
+[[nodiscard]] std::string consume_directive(Cursor& cur) {
+  std::string text;
   while (!cur.done()) {
     const char c = cur.peek();
     if (c == '\\' && (cur.peek(1) == '\n' || (cur.peek(1) == '\r' && cur.peek(2) == '\n'))) {
       cur.advance();  // backslash
       while (!cur.done() && cur.peek() != '\n') cur.advance();
       if (!cur.done()) cur.advance();  // the newline: directive continues
+      text += ' ';
       continue;
     }
-    if (c == '\n') return;  // leave the newline for the main loop
-    cur.advance();
+    if (c == '\n') break;  // leave the newline for the main loop
+    text += cur.advance();
   }
+  return text;
 }
 
 /// Consumes a pp-number: digits, identifier chars, digit separators, dots,
@@ -192,7 +196,7 @@ TokenizedSource tokenize(std::string_view source) {
     if (c == '#' && !cur.line_has_code()) {
       cur.mark_code();
       cur.advance();
-      consume_directive(cur);
+      out.directives.push_back(Directive{consume_directive(cur), line});
       continue;
     }
 
